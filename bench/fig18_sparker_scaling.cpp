@@ -1,0 +1,51 @@
+// Reproduces Figure 18: strong-scaling decomposition of LDA-N on AWS under
+// vanilla Spark vs Sparker, 8 to 960 cores, 15 iterations. Paper reference
+// points: at 8 cores, reduction 26.36 s (Spark) vs 6.29 s (Sparker), a
+// 4.19x reduction speedup; at 960 cores, 111.26 s vs 15.41 s, 7.22x — the
+// scalable reduction's advantage grows with scale, and the driver becomes
+// the new bottleneck (Section 6).
+
+#include <cstdio>
+
+#include "bench_util/runners.hpp"
+#include "bench_util/table.hpp"
+#include "ml/workload.hpp"
+
+int main() {
+  using namespace sparker;
+  bench::print_banner("Figure 18",
+                      "LDA-N Spark vs Sparker decomposition (AWS, 15 "
+                      "iterations); seconds");
+
+  const auto& w = ml::workload_by_name("LDA-N");
+  const int iters = 15;
+  bench::Table t({"cores", "mode", "agg-compute", "agg-reduce", "non-agg",
+                  "driver", "total", "reduce speedup"});
+  double s8 = 0, s960 = 0;
+  for (int cores : {8, 96, 480, 960}) {
+    const auto spec = bench::aws_with_cores(cores);
+    const auto spark = bench::run_e2e(spec, engine::AggMode::kTree, w, iters);
+    const auto sparker =
+        bench::run_e2e(spec, engine::AggMode::kSplit, w, iters);
+    const double reduce_speedup = spark.agg_reduce_s / sparker.agg_reduce_s;
+    if (cores == 8) s8 = reduce_speedup;
+    if (cores == 960) s960 = reduce_speedup;
+    t.add_row({std::to_string(cores), "Spark",
+               bench::fmt(spark.agg_compute_s, 1),
+               bench::fmt(spark.agg_reduce_s, 1),
+               bench::fmt(spark.non_agg_s, 1), bench::fmt(spark.driver_s, 1),
+               bench::fmt(spark.total_s, 1), ""});
+    t.add_row({"", "Sparker", bench::fmt(sparker.agg_compute_s, 1),
+               bench::fmt(sparker.agg_reduce_s, 1),
+               bench::fmt(sparker.non_agg_s, 1),
+               bench::fmt(sparker.driver_s, 1),
+               bench::fmt(sparker.total_s, 1),
+               bench::fmt_times(reduce_speedup, 2)});
+  }
+  t.print();
+  std::printf(
+      "\nmeasured: reduction speedup %.2fx at 8 cores (paper 4.19x) growing "
+      "to %.2fx at 960 cores (paper 7.22x)\n",
+      s8, s960);
+  return 0;
+}

@@ -1,0 +1,237 @@
+#include "bench_util/runners.hpp"
+
+#include <cmath>
+
+namespace sparker::bench {
+
+using sim::Simulator;
+using sim::Task;
+using sim::Time;
+
+double p2p_latency_us(const net::ClusterSpec& spec, CommBackend backend) {
+  Simulator sim;
+  net::FabricParams fp = spec.fabric;
+  fp.gc.enabled = false;  // tiny messages; GC is irrelevant here
+  net::Fabric fabric(sim, fp, 2);
+  comm::Communicator c(fabric, {0, 1}, link_of(spec, backend), 1);
+  net::Message m;
+  m.bytes = 8;
+  c.post(0, 1, 0, std::move(m));
+  auto recv = [](comm::Communicator& cc, Simulator& s) -> Task<Time> {
+    (void)co_await cc.recv(1, 0, 0);
+    co_return s.now();
+  };
+  return sim::to_micros(sim.run_task(recv(c, sim)));
+}
+
+double p2p_throughput_mbps(const net::ClusterSpec& spec, CommBackend backend,
+                           int parallelism, std::uint64_t bytes, int messages,
+                           bool gc) {
+  Simulator sim;
+  net::FabricParams fp = spec.fabric;
+  fp.gc.enabled = gc && fp.gc.enabled;
+  net::Fabric fabric(sim, fp, 2);
+  comm::Communicator c(fabric, {0, 1}, link_of(spec, backend), parallelism);
+  for (int ch = 0; ch < parallelism; ++ch) {
+    for (int i = 0; i < messages; ++i) {
+      net::Message m;
+      m.bytes = bytes;
+      c.post(0, 1, ch, std::move(m));
+    }
+  }
+  // Sustained rate over many back-to-back messages per channel; the
+  // pipeline-fill fraction is O(1/messages).
+  auto consumer = [](comm::Communicator& cc, int ch, int n) -> Task<void> {
+    for (int i = 0; i < n; ++i) (void)co_await cc.recv(1, 0, ch);
+  };
+  sim::WaitGroup wg(sim);
+  wg.add(parallelism);
+  struct Run {
+    static Task<void> go(Task<void> t, sim::WaitGroup& w) {
+      co_await std::move(t);
+      w.done();
+    }
+  };
+  for (int ch = 0; ch < parallelism; ++ch) {
+    sim.spawn(Run::go(consumer(c, ch, messages), wg));
+  }
+  auto waiter = [](sim::WaitGroup& g) -> Task<void> { co_await g.wait(); };
+  sim.run_task(waiter(wg));
+  const double total_bytes =
+      static_cast<double>(bytes) * parallelism * messages;
+  return total_bytes / sim::to_seconds(sim.now()) / 1e6;
+}
+
+double reduce_scatter_seconds(const net::ClusterSpec& spec, RsOptions opt) {
+  Simulator sim;
+  net::FabricParams fp = spec.fabric;
+  const int per_host = spec.executors_per_node;
+  const int hosts = (opt.executors + per_host - 1) / per_host;
+  net::Fabric fabric(sim, fp, hosts);
+  auto infos = comm::enumerate_executors(hosts, per_host);
+  infos.resize(static_cast<std::size_t>(opt.executors));
+  const std::vector<int> rank_to_host =
+      opt.topology_aware ? comm::rank_map_by_hostname(infos)
+                         : comm::rank_map_by_executor_id(infos);
+  comm::Communicator c(fabric, rank_to_host, link_of(spec, opt.backend),
+                       opt.parallelism);
+
+  const int len = 4096;  // real elements per rank (scaled)
+  const double bytes_scale =
+      static_cast<double>(opt.message_bytes) / (len * sizeof(std::int64_t));
+  std::vector<Vec> locals(static_cast<std::size_t>(opt.executors));
+  for (int r = 0; r < opt.executors; ++r) {
+    auto& v = locals[static_cast<std::size_t>(r)];
+    v.resize(len);
+    for (int i = 0; i < len; ++i) {
+      v[static_cast<std::size_t>(i)] = r * len + i;
+    }
+  }
+  const double merge_bw = spec.rates.merge_bw;
+  auto body = [&](int rank) -> Task<void> {
+    const Vec& local = locals[static_cast<std::size_t>(rank)];
+    comm::SegOps<Vec> ops;
+    ops.split = [&local, len](int seg, int nseg) {
+      const int base = len / nseg, rem = len % nseg;
+      const int lo = seg * base + std::min(seg, rem);
+      const int hi = lo + base + (seg < rem ? 1 : 0);
+      return Vec(local.begin() + lo, local.begin() + hi);
+    };
+    ops.reduce_into = [](Vec& a, const Vec& b) {
+      for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    };
+    ops.bytes = [bytes_scale](const Vec& v) {
+      return static_cast<std::uint64_t>(
+          static_cast<double>(v.size() * sizeof(std::int64_t)) * bytes_scale);
+    };
+    ops.merge_time = [merge_bw](std::uint64_t b) {
+      return sim::transfer_time(static_cast<double>(b), merge_bw);
+    };
+    switch (opt.algo) {
+      case RsOptions::Algo::kHalving:
+        (void)co_await comm::halving_reduce_scatter(c, rank, ops);
+        break;
+      case RsOptions::Algo::kPairwise:
+        (void)co_await comm::pairwise_reduce_scatter(c, rank, ops);
+        break;
+      case RsOptions::Algo::kRing:
+        (void)co_await comm::ring_reduce_scatter(c, rank, ops);
+        break;
+    }
+  };
+  sim.run_task(comm::run_all_ranks(c, body));
+  return sim::to_seconds(sim.now());
+}
+
+AggBenchResult aggregation_bench(const net::ClusterSpec& spec,
+                                 engine::AggMode mode,
+                                 std::uint64_t message_bytes) {
+  Simulator sim;
+  engine::Cluster cl(sim, spec);
+  cl.config().agg_mode = mode;
+  const int partitions = spec.total_cores();
+  const int len = 2048;  // real int64s per array (scaled)
+  const double bytes_scale =
+      static_cast<double>(message_bytes) / (len * sizeof(std::int64_t));
+  auto gen = [len](int pid) {
+    std::vector<Vec> rows(1);
+    rows[0].resize(len);
+    for (int i = 0; i < len; ++i) {
+      rows[0][static_cast<std::size_t>(i)] = pid * len + i;
+    }
+    return rows;
+  };
+  engine::CachedRdd<Vec> rdd(partitions, cl.num_executors(), gen);
+  rdd.materialize();
+
+  const double merge_bw = spec.rates.merge_bw;
+  engine::TreeAggSpec<Vec, Vec> tree;
+  tree.zero = Vec(static_cast<std::size_t>(len), 0);
+  tree.seq_op = [](Vec& agg, const Vec& row) {
+    for (std::size_t i = 0; i < agg.size(); ++i) agg[i] += row[i];
+  };
+  tree.comb_op = tree.seq_op;
+  tree.bytes = [bytes_scale](const Vec& v) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(v.size() * sizeof(std::int64_t)) * bytes_scale);
+  };
+  tree.partition_cost = [message_bytes, merge_bw](int,
+                                                  const std::vector<Vec>& rows) {
+    // Summing `rows` arrays of the modeled size at memory bandwidth.
+    return sim::transfer_time(
+        static_cast<double>(message_bytes) * static_cast<double>(rows.size()),
+        merge_bw);
+  };
+
+  engine::AggMetrics m;
+  if (mode == engine::AggMode::kSplit) {
+    engine::SplitAggSpec<Vec, Vec, Vec> split;
+    split.base = tree;
+    split.split_op = [](const Vec& u, int seg, int nseg) {
+      const int l = static_cast<int>(u.size());
+      const int base = l / nseg, rem = l % nseg;
+      const int lo = seg * base + std::min(seg, rem);
+      const int hi = lo + base + (seg < rem ? 1 : 0);
+      return Vec(u.begin() + lo, u.begin() + hi);
+    };
+    split.reduce_op = [](Vec& a, const Vec& b) {
+      for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    };
+    split.concat_op = [](std::vector<std::pair<int, Vec>>& segs) {
+      Vec out;
+      for (auto& [idx, v] : segs) out.insert(out.end(), v.begin(), v.end());
+      return out;
+    };
+    split.v_bytes = tree.bytes;
+    auto job = [&]() -> Task<Vec> {
+      co_return co_await engine::split_aggregate(cl, rdd, split, &m);
+    };
+    (void)sim.run_task(job());
+  } else {
+    auto job = [&]() -> Task<Vec> {
+      co_return co_await engine::tree_aggregate(cl, rdd, tree, &m);
+    };
+    (void)sim.run_task(job());
+  }
+  AggBenchResult r;
+  r.total_s = sim::to_seconds(m.total());
+  r.compute_s = sim::to_seconds(m.compute_time());
+  r.reduce_s = sim::to_seconds(m.reduce_time());
+  return r;
+}
+
+E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
+                  const ml::Workload& workload, int iterations) {
+  Simulator sim;
+  engine::Cluster cl(sim, spec);
+  cl.config().agg_mode = mode;
+  auto job = [&]() -> Task<ml::WorkloadRun> {
+    co_return co_await ml::run_workload(cl, workload, iterations);
+  };
+  const ml::WorkloadRun run = sim.run_task(job());
+  E2eResult r;
+  r.total_s = sim::to_seconds(run.total);
+  r.driver_s = sim::to_seconds(run.breakdown.driver);
+  r.non_agg_s = sim::to_seconds(run.breakdown.non_agg);
+  r.agg_compute_s = sim::to_seconds(run.breakdown.agg_compute);
+  r.agg_reduce_s = sim::to_seconds(run.breakdown.agg_reduce);
+  return r;
+}
+
+net::ClusterSpec aws_with_cores(int cores) {
+  net::ClusterSpec spec = net::ClusterSpec::aws(1);
+  if (cores <= 96) {
+    // Paper: "We shrink the number of cores for each executor to 4 for
+    // intra-node configuration".
+    spec.num_nodes = 1;
+    spec.cores_per_executor = std::min(4, cores);
+    spec.executors_per_node = std::max(1, cores / spec.cores_per_executor);
+  } else {
+    spec = net::ClusterSpec::aws(cores / 96);
+  }
+  return spec;
+}
+
+net::ClusterSpec bic_with_nodes(int nodes) { return net::ClusterSpec::bic(nodes); }
+
+}  // namespace sparker::bench

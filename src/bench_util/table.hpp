@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Plain-text table printing for the figure/table reproduction binaries.
+/// Every bench prints the series the paper plots, one row per point, with
+/// the paper's reported value alongside where the paper states one.
+
+namespace sparker::bench {
+
+/// Prints a banner identifying the experiment being reproduced.
+inline void print_banner(const std::string& figure,
+                         const std::string& description) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Column-aligned table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(headers_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += std::string(width[c], '-');
+      if (c + 1 < headers_.size()) sep += "  ";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = cells[c];
+      if (c < width.size() && cell.size() < width[c]) {
+        cell += std::string(width[c] - cell.size(), ' ');
+      }
+      line += cell;
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+inline std::string fmt_times(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", prec, v);
+  return buf;
+}
+
+}  // namespace sparker::bench

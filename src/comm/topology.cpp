@@ -1,0 +1,63 @@
+#include "comm/topology.hpp"
+
+#include <cstdio>
+
+namespace sparker::comm {
+
+std::vector<ExecutorInfo> enumerate_executors(int hosts, int per_host) {
+  std::vector<ExecutorInfo> out;
+  out.reserve(static_cast<std::size_t>(hosts) * static_cast<std::size_t>(per_host));
+  int id = 0;
+  // Round-robin registration order: one executor from each host, repeated.
+  for (int slot = 0; slot < per_host; ++slot) {
+    for (int h = 0; h < hosts; ++h) {
+      ExecutorInfo e;
+      e.executor_id = id++;
+      e.host = h;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "node%03d", h);
+      e.hostname = buf;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::vector<int> rank_map_by_executor_id(const std::vector<ExecutorInfo>& e) {
+  std::vector<ExecutorInfo> sorted = e;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExecutorInfo& a, const ExecutorInfo& b) {
+              return a.executor_id < b.executor_id;
+            });
+  std::vector<int> map;
+  map.reserve(sorted.size());
+  for (const auto& x : sorted) map.push_back(x.host);
+  return map;
+}
+
+std::vector<int> rank_map_by_hostname(const std::vector<ExecutorInfo>& e) {
+  std::vector<ExecutorInfo> sorted = e;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExecutorInfo& a, const ExecutorInfo& b) {
+              if (a.hostname != b.hostname) return a.hostname < b.hostname;
+              return a.executor_id < b.executor_id;
+            });
+  std::vector<int> map;
+  map.reserve(sorted.size());
+  for (const auto& x : sorted) map.push_back(x.host);
+  return map;
+}
+
+int count_inter_host_ring_edges(const std::vector<int>& rank_to_host) {
+  const int n = static_cast<int>(rank_to_host.size());
+  int crossings = 0;
+  for (int r = 0; r < n; ++r) {
+    if (rank_to_host[static_cast<std::size_t>(r)] !=
+        rank_to_host[static_cast<std::size_t>((r + 1) % n)]) {
+      ++crossings;
+    }
+  }
+  return crossings;
+}
+
+}  // namespace sparker::comm

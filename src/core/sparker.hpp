@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+
+#include "engine/aggregate.hpp"
+#include "engine/cluster.hpp"
+#include "engine/rdd.hpp"
+#include "net/cluster.hpp"
+#include "sim/simulator.hpp"
+
+/// \file sparker.hpp
+/// The Sparker public API: a SparkContext-like facade over the engine.
+///
+/// The paper argues that libraries (like MLlib) should consume the Split
+/// Aggregation Interface while end users only flip a configuration flag
+/// ("MLlib users only need a configuration parameter to control whether to
+/// use split aggregation or not", Section 3.1). `SparkerContext::Options`
+/// is that flag surface.
+
+namespace sparker::core {
+
+class SparkerContext {
+ public:
+  struct Options {
+    net::ClusterSpec cluster = net::ClusterSpec::bic();
+    /// The paper's user-facing switch: run aggregations through split
+    /// aggregation (Sparker) or treeAggregate (vanilla Spark).
+    bool use_split_aggregation = true;
+    /// In-memory merge for the tree path (independent knob, Figure 16's
+    /// "Tree+IMM" series).
+    bool in_memory_merge = false;
+    int sai_parallelism = 4;    ///< P, parallel ring channels.
+    bool topology_aware = true; ///< sort executors by hostname.
+    int tree_depth = 2;
+  };
+
+  SparkerContext(sim::Simulator& sim, Options opts)
+      : options_(opts),
+        cluster_(std::make_unique<engine::Cluster>(sim, opts.cluster)) {
+    apply_options();
+  }
+
+  engine::Cluster& cluster() noexcept { return *cluster_; }
+  sim::Simulator& simulator() noexcept { return cluster_->simulator(); }
+  Options& options() noexcept { return options_; }
+
+  /// Re-applies the option block to the engine (call after editing
+  /// options(), like re-submitting a Spark job with new conf).
+  void apply_options() {
+    auto& cfg = cluster_->config();
+    if (options_.use_split_aggregation) {
+      cfg.agg_mode = engine::AggMode::kSplit;
+    } else {
+      cfg.agg_mode = options_.in_memory_merge ? engine::AggMode::kTreeImm
+                                              : engine::AggMode::kTree;
+    }
+    cfg.sai_parallelism = options_.sai_parallelism;
+    cfg.topology_aware = options_.topology_aware;
+    cfg.tree_depth = options_.tree_depth;
+  }
+
+  /// Creates a cached RDD (MEMORY_ONLY, affinity round-robin), the moral
+  /// equivalent of `sc.parallelize(...).cache()`.
+  template <typename T>
+  std::unique_ptr<engine::CachedRdd<T>> parallelize(
+      int partitions, std::function<std::vector<T>(int)> gen) {
+    return std::make_unique<engine::CachedRdd<T>>(
+        partitions, cluster_->num_executors(), std::move(gen));
+  }
+
+  /// Default partition count: one per core, Spark's convention for cached
+  /// in-memory data.
+  int default_parallelism() const {
+    return cluster_->spec().total_cores();
+  }
+
+  /// Aggregation respecting the configured path. The caller supplies the
+  /// full SplitAggSpec; on the tree path only `base` is used and the
+  /// result is converted with splitOp/concatOp over one segment, exactly
+  /// the adapter MLlib-on-Sparker uses to stay backward compatible.
+  template <typename T, typename U, typename V>
+  sim::Task<V> aggregate(engine::CachedRdd<T>& rdd,
+                         const engine::SplitAggSpec<T, U, V>& spec,
+                         engine::AggMetrics* metrics = nullptr) {
+    if (cluster_->config().agg_mode == engine::AggMode::kSplit) {
+      co_return co_await engine::split_aggregate(*cluster_, rdd, spec,
+                                                 metrics);
+    }
+    U whole = co_await engine::tree_aggregate(*cluster_, rdd, spec.base,
+                                              metrics);
+    std::vector<std::pair<int, V>> one;
+    one.emplace_back(0, spec.split_op(whole, 0, 1));
+    co_return spec.concat_op(one);
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<engine::Cluster> cluster_;
+};
+
+}  // namespace sparker::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/presets.hpp"
+#include "ml/linalg.hpp"
+#include "sim/random.hpp"
+
+/// \file generators.hpp
+/// Deterministic synthetic data generators shaped like the Table 2
+/// datasets: sparse classification rows drawn from a planted linear model
+/// (so LR/SVM training has a real signal to recover) and bag-of-words
+/// documents drawn from a planted topic mixture (so LDA has real topics to
+/// find). Generation is per-partition and seeded, so failed tasks can
+/// regenerate identical data.
+
+namespace sparker::data {
+
+/// A bag-of-words document: (word id, count) pairs.
+struct Document {
+  std::vector<std::int32_t> word_ids;
+  std::vector<std::int32_t> counts;
+
+  std::int64_t total_tokens() const {
+    std::int64_t n = 0;
+    for (auto c : counts) n += c;
+    return n;
+  }
+};
+
+/// Planted ground truth for a synthetic classification problem.
+struct PlantedModel {
+  ml::DenseVector weights;  ///< true separating direction.
+  double noise = 0.1;       ///< label-flip probability.
+};
+
+/// Deterministic planted model for a preset.
+PlantedModel make_planted_model(const DatasetPreset& preset,
+                                std::uint64_t seed);
+
+/// Generates `count` labeled rows for one partition. Labels follow
+/// sign(w*x) with `noise` flips; indices are uniform without replacement.
+std::vector<ml::LabeledPoint> generate_classification_partition(
+    const DatasetPreset& preset, const PlantedModel& model, int partition,
+    std::int64_t count, std::uint64_t seed);
+
+/// Topic model ground truth: `topics[k]` is a distribution over the real
+/// vocabulary (concentrated on a band of words per topic).
+struct PlantedTopics {
+  int num_topics = 0;
+  std::vector<ml::DenseVector> topic_word;  ///< K x V_real.
+};
+
+PlantedTopics make_planted_topics(const DatasetPreset& preset, int num_topics,
+                                  std::uint64_t seed);
+
+/// Generates `count` documents for one partition from a 2-topic mixture per
+/// document.
+std::vector<Document> generate_corpus_partition(const DatasetPreset& preset,
+                                                const PlantedTopics& topics,
+                                                int partition,
+                                                std::int64_t count,
+                                                std::uint64_t seed);
+
+}  // namespace sparker::data

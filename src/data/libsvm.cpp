@@ -1,0 +1,101 @@
+#include "data/libsvm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sparker::data {
+
+bool parse_libsvm_line(const std::string& line, ml::LabeledPoint& out) {
+  std::size_t pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos || line[pos] == '#') return false;
+  std::istringstream ss(line);
+  double label;
+  if (!(ss >> label)) throw std::runtime_error("libsvm: bad label: " + line);
+  out.label = label > 0 ? 1.0 : 0.0;
+  out.features.indices.clear();
+  out.features.values.clear();
+  std::string tok;
+  std::int64_t max_idx = 0;
+  while (ss >> tok) {
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("libsvm: bad feature token: " + tok);
+    }
+    char* end = nullptr;
+    const long idx = std::strtol(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + colon || idx < 1) {
+      throw std::runtime_error("libsvm: bad index in token: " + tok);
+    }
+    const double val = std::strtod(tok.c_str() + colon + 1, &end);
+    if (end != tok.c_str() + tok.size()) {
+      throw std::runtime_error("libsvm: bad value in token: " + tok);
+    }
+    out.features.indices.push_back(static_cast<std::int32_t>(idx - 1));
+    out.features.values.push_back(val);
+    max_idx = std::max<std::int64_t>(max_idx, idx);
+  }
+  out.features.dim = max_idx;
+  // Enforce sorted indices (the format requires ascending order, but be
+  // tolerant and sort).
+  if (!std::is_sorted(out.features.indices.begin(),
+                      out.features.indices.end())) {
+    std::vector<std::size_t> order(out.features.indices.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return out.features.indices[a] < out.features.indices[b];
+    });
+    std::vector<std::int32_t> idxs;
+    std::vector<double> vals;
+    for (auto i : order) {
+      idxs.push_back(out.features.indices[i]);
+      vals.push_back(out.features.values[i]);
+    }
+    out.features.indices = std::move(idxs);
+    out.features.values = std::move(vals);
+  }
+  return true;
+}
+
+std::vector<ml::LabeledPoint> read_libsvm(std::istream& in, std::int64_t dim) {
+  std::vector<ml::LabeledPoint> rows;
+  std::string line;
+  std::int64_t max_dim = dim;
+  while (std::getline(in, line)) {
+    ml::LabeledPoint p;
+    if (parse_libsvm_line(line, p)) {
+      max_dim = std::max(max_dim, p.features.dim);
+      rows.push_back(std::move(p));
+    }
+  }
+  for (auto& r : rows) r.features.dim = max_dim;
+  return rows;
+}
+
+std::vector<ml::LabeledPoint> read_libsvm_file(const std::string& path,
+                                               std::int64_t dim) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open libsvm file: " + path);
+  return read_libsvm(f, dim);
+}
+
+void write_libsvm(std::ostream& out, const std::vector<ml::LabeledPoint>& rows,
+                  bool binary01) {
+  const auto old_precision = out.precision(17);  // round-trippable doubles
+  for (const auto& r : rows) {
+    if (binary01) {
+      out << (r.label > 0.5 ? "+1" : "-1");
+    } else {
+      out << r.label;
+    }
+    for (std::size_t k = 0; k < r.features.indices.size(); ++k) {
+      out << ' ' << (r.features.indices[k] + 1) << ':' << r.features.values[k];
+    }
+    out << '\n';
+  }
+  out.precision(old_precision);
+}
+
+}  // namespace sparker::data

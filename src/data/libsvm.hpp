@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/linalg.hpp"
+
+/// \file libsvm.hpp
+/// Reader/writer for the libsvm text format used by the paper's
+/// classification datasets:  `<label> <index>:<value> ...` with 1-based
+/// indices. Lets users run the examples on real libsvm files.
+
+namespace sparker::data {
+
+/// Parses one libsvm line; returns false for blank/comment lines.
+/// Throws std::runtime_error on malformed input.
+bool parse_libsvm_line(const std::string& line, ml::LabeledPoint& out);
+
+/// Reads a whole libsvm stream. `dim` 0 means infer from max index.
+std::vector<ml::LabeledPoint> read_libsvm(std::istream& in,
+                                          std::int64_t dim = 0);
+
+/// Reads a libsvm file from disk.
+std::vector<ml::LabeledPoint> read_libsvm_file(const std::string& path,
+                                               std::int64_t dim = 0);
+
+/// Writes rows in libsvm format (1-based indices, labels as +1/-1 when
+/// binary01 is set, raw otherwise).
+void write_libsvm(std::ostream& out, const std::vector<ml::LabeledPoint>& rows,
+                  bool binary01 = true);
+
+}  // namespace sparker::data

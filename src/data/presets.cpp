@@ -1,0 +1,84 @@
+#include "data/presets.hpp"
+
+#include <stdexcept>
+
+namespace sparker::data {
+
+namespace {
+
+DatasetPreset make_classification(std::string name, std::int64_t samples,
+                                  std::int64_t features, double avg_nnz) {
+  DatasetPreset p;
+  p.name = std::move(name);
+  p.task = TaskKind::kClassification;
+  p.samples = samples;
+  p.features = features;
+  p.avg_nnz = avg_nnz;
+  // Scaled-down real shape: enough structure for the math to be
+  // non-trivial, small enough to run hundreds of jobs in-process.
+  p.real_samples = 6000;
+  p.real_features = 2048;
+  p.real_nnz = 16;
+  return p;
+}
+
+DatasetPreset make_corpus(std::string name, std::int64_t docs,
+                          std::int64_t vocab, double avg_tokens) {
+  DatasetPreset p;
+  p.name = std::move(name);
+  p.task = TaskKind::kTopicModel;
+  p.samples = docs;
+  p.features = vocab;
+  p.avg_nnz = avg_tokens;
+  p.real_samples = 1200;
+  p.real_features = 1500;
+  p.real_nnz = 40;  // distinct tokens per document
+  return p;
+}
+
+}  // namespace
+
+// Average-nnz figures are the published statistics of the libsvm/UCI
+// datasets (avazu ~15 features/row, criteo ~39, kdd10 ~29, kdd12 ~11;
+// enron ~160 tokens/doc, nytimes ~230).
+const DatasetPreset& avazu() {
+  static const DatasetPreset p =
+      make_classification("avazu", 45'006'431, 1'000'000, 15);
+  return p;
+}
+const DatasetPreset& criteo() {
+  static const DatasetPreset p =
+      make_classification("criteo", 51'882'752, 1'000'000, 39);
+  return p;
+}
+const DatasetPreset& kdd10() {
+  static const DatasetPreset p =
+      make_classification("kdd10", 8'918'054, 20'216'830, 29);
+  return p;
+}
+const DatasetPreset& kdd12() {
+  static const DatasetPreset p =
+      make_classification("kdd12", 149'639'105, 54'686'452, 11);
+  return p;
+}
+const DatasetPreset& enron() {
+  static const DatasetPreset p = make_corpus("enron", 39'861, 28'102, 160);
+  return p;
+}
+const DatasetPreset& nytimes() {
+  static const DatasetPreset p = make_corpus("nytimes", 300'000, 102'660, 230);
+  return p;
+}
+
+const DatasetPreset& preset_by_name(const std::string& name) {
+  for (const auto* p : all_presets()) {
+    if (p->name == name) return *p;
+  }
+  throw std::invalid_argument("unknown dataset preset: " + name);
+}
+
+std::vector<const DatasetPreset*> all_presets() {
+  return {&avazu(), &criteo(), &kdd10(), &kdd12(), &enron(), &nytimes()};
+}
+
+}  // namespace sparker::data

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file presets.hpp
+/// The real-world datasets of Table 2, encoded as shape presets. Paper-scale
+/// dimensions drive the *cost model* (aggregator bytes, per-iteration
+/// compute); scaled-down dimensions drive the *real* computation that tests
+/// verify (see DESIGN.md §2 for the substitution rationale).
+
+namespace sparker::data {
+
+enum class TaskKind { kClassification, kTopicModel };
+
+struct DatasetPreset {
+  std::string name;          ///< Table 2 name ("avazu", "nytimes", ...).
+  TaskKind task = TaskKind::kClassification;
+
+  // Paper-scale shape (drives modeled time/bytes).
+  std::int64_t samples = 0;   ///< rows (classification) / documents (LDA).
+  std::int64_t features = 0;  ///< features (classification) / vocab (LDA).
+  double avg_nnz = 0;         ///< nonzeros per sample / tokens per document.
+
+  // Scaled-down shape (drives real computation).
+  std::int64_t real_samples = 0;
+  std::int64_t real_features = 0;
+  std::int32_t real_nnz = 0;
+
+  /// Ratio of modeled to real aggregate dimension — used to turn real byte
+  /// counts into modeled wire sizes.
+  double feature_scale() const {
+    return static_cast<double>(features) / static_cast<double>(real_features);
+  }
+};
+
+/// Table 2 presets (avazu, criteo, kdd10, kdd12, enron, nytimes).
+const DatasetPreset& avazu();
+const DatasetPreset& criteo();
+const DatasetPreset& kdd10();
+const DatasetPreset& kdd12();
+const DatasetPreset& enron();
+const DatasetPreset& nytimes();
+
+/// Look up a preset by Table 2 name; throws on unknown names.
+const DatasetPreset& preset_by_name(const std::string& name);
+
+/// All Table 2 presets in paper order.
+std::vector<const DatasetPreset*> all_presets();
+
+}  // namespace sparker::data

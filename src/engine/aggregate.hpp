@@ -1,0 +1,610 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "engine/cluster.hpp"
+#include "engine/rdd.hpp"
+
+/// \file aggregate.hpp
+/// The aggregation paths the paper compares (Figure 16):
+///
+///  * `tree_aggregate`  — Spark's RDD.treeAggregate: a compute stage (one
+///    task per partition, each result serialized), zero or more shuffle
+///    combine rounds following Spark's exact partition-count schedule, and
+///    a final serial reduce at the driver.
+///  * the same with In-Memory Merge — the compute stage becomes a
+///    *reduced-result stage*: task results merge into a shared per-executor
+///    value before any serialization (paper Section 3.2), and the tree then
+///    reduces one value per executor.
+///  * `split_aggregate` — the paper's contribution (Section 3.1): a
+///    reduced-result stage, then a SpawnRDD stage running ring
+///    reduce-scatter over the scalable communicator, then a driver-side
+///    collect + concatOp.
+///
+/// All paths execute the *real* user callbacks over real data; only time is
+/// modeled. `bytes` callbacks return the modeled (paper-scale) wire size.
+
+namespace sparker::engine {
+
+/// User spec for tree aggregation (mirrors treeAggregate's callbacks, in
+/// mutating form for C++ efficiency).
+template <typename T, typename U>
+struct TreeAggSpec {
+  U zero{};
+  std::function<void(U&, const T&)> seq_op;
+  std::function<void(U&, const U&)> comb_op;
+  /// Modeled serialized size of an aggregator.
+  std::function<std::uint64_t(const U&)> bytes;
+  /// Modeled compute time of folding one partition (the workload model).
+  std::function<Duration(int pid, const std::vector<T>&)> partition_cost;
+};
+
+/// Additional callbacks for split aggregation (the SAI of Figure 6).
+template <typename T, typename U, typename V>
+struct SplitAggSpec {
+  TreeAggSpec<T, U> base;
+  /// splitOp: segment `i` of `n` from an aggregator.
+  std::function<V(const U&, int i, int n)> split_op;
+  /// reduceOp on segments.
+  std::function<void(V&, const V&)> reduce_op;
+  /// concatOp: segments sorted by index -> whole result.
+  std::function<V(std::vector<std::pair<int, V>>&)> concat_op;
+  /// Modeled serialized size of a segment.
+  std::function<std::uint64_t(const V&)> v_bytes;
+};
+
+/// Timing/fault bookkeeping for one aggregation job.
+struct AggMetrics {
+  Time start = 0;
+  Time compute_done = 0;  ///< end of the first (compute) stage.
+  Time end = 0;
+  int task_retries = 0;    ///< task-level retries (non-IMM path).
+  int stage_restarts = 0;  ///< whole-stage restarts (IMM path).
+
+  Duration compute_time() const { return compute_done - start; }
+  Duration reduce_time() const { return end - compute_done; }
+  Duration total() const { return end - start; }
+};
+
+namespace detail {
+
+/// Thrown inside a task attempt when the fault plan injects a failure.
+struct TaskFailed {};
+
+/// An aggregator sitting at an executor. Plain-stage results are already
+/// serialized (Spark serializes every task result on completion); IMM
+/// results stay live in the mutable object manager and pay their
+/// serialization cost lazily, when first fetched.
+template <typename U>
+struct Blob {
+  std::shared_ptr<U> value;
+  std::uint64_t bytes = 0;
+  int executor = 0;
+  bool serialized = true;
+};
+
+/// Spark sends task results below this size inline with the status update;
+/// larger results go through the BlockManager (spark.task.maxDirectResultSize
+/// defaults to 1 MiB).
+inline constexpr std::uint64_t kDirectResultLimit = 1ull << 20;
+
+/// Dispatch + control hop + core slot + task setup, then the real seqOp
+/// fold over the partition. Throws TaskFailed per the fault plan.
+template <typename T, typename U>
+sim::Task<U> compute_attempt(Cluster& cl, CachedRdd<T>& rdd,
+                             const TreeAggSpec<T, U>& spec, TaskId id) {
+  const int exec_id = rdd.preferred_executor(id.task);
+  Executor& ex = cl.executor(exec_id);
+  const Time dispatched =
+      cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
+  co_await cl.simulator().sleep_until(dispatched);
+  co_await cl.simulator().sleep(cl.control_latency(exec_id));
+  co_await ex.cores().acquire();
+  sim::SemaphoreGuard slot(ex.cores());
+  co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
+  const auto& part = rdd.partition(id.task);
+  U agg = spec.zero;
+  for (const T& row : part) spec.seq_op(agg, row);
+  Duration cost =
+      spec.partition_cost ? spec.partition_cost(id.task, part) : Duration{0};
+  cost = static_cast<Duration>(static_cast<double>(cost) *
+                               cl.config().stragglers.factor(exec_id) /
+                               cl.spec().rates.core_speed);
+  co_await cl.simulator().sleep(cost);
+  if (cl.config().faults.fails(id)) throw TaskFailed{};
+  co_return agg;
+}
+
+/// Task-level retry loop (vanilla Spark semantics: failed tasks rerun
+/// individually).
+template <typename T, typename U>
+sim::Task<U> compute_with_retry(Cluster& cl, CachedRdd<T>& rdd,
+                                const TreeAggSpec<T, U>& spec, int job,
+                                int task, AggMetrics* m) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      co_return co_await compute_attempt(cl, rdd, spec,
+                                         TaskId{job, 0, task, attempt});
+    } catch (const TaskFailed&) {
+      if (m) ++m->task_retries;
+      if (attempt + 1 >= cl.config().max_task_attempts) {
+        throw std::runtime_error("task exceeded max attempts; job aborted");
+      }
+    }
+  }
+}
+
+/// Plain compute stage: one serialized result per partition.
+template <typename T, typename U>
+sim::Task<std::vector<Blob<U>>> compute_stage_plain(
+    Cluster& cl, CachedRdd<T>& rdd, const TreeAggSpec<T, U>& spec, int job,
+    AggMetrics* m) {
+  const int p = rdd.num_partitions();
+  std::vector<Blob<U>> out(static_cast<std::size_t>(p));
+  sim::WaitGroup wg(cl.simulator());
+  wg.add(p);
+  std::exception_ptr error;
+  struct Worker {
+    static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
+                              const TreeAggSpec<T, U>& spec, int job, int task,
+                              Blob<U>& slot, AggMetrics* m, sim::WaitGroup& wg,
+                              std::exception_ptr& error) {
+      try {
+        U agg = co_await compute_with_retry(cl, rdd, spec, job, task, m);
+        const std::uint64_t nbytes = spec.bytes(agg);
+        // Vanilla Spark: each task serializes its result immediately upon
+        // completion (exactly the overhead IMM removes).
+        co_await cl.simulator().sleep(cl.ser_time(nbytes));
+        const int exec_id = rdd.preferred_executor(task);
+        co_await cl.simulator().sleep(cl.control_latency(exec_id));
+        (void)cl.driver_loop().enqueue(sim::microseconds(50));
+        slot = Blob<U>{std::make_shared<U>(std::move(agg)), nbytes, exec_id,
+                       /*serialized=*/true};
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      wg.done();
+    }
+  };
+  for (int t = 0; t < p; ++t) {
+    cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t,
+                                    out[static_cast<std::size_t>(t)], m, wg,
+                                    error));
+  }
+  co_await wg.wait();
+  if (error) std::rethrow_exception(error);
+  co_return out;
+}
+
+/// Reduced-result stage (In-Memory Merge): task results fold into one
+/// shared value per executor, unserialized; any failure restarts the whole
+/// stage after clearing the partials (paper Section 3.2).
+template <typename T, typename U>
+sim::Task<std::vector<Blob<U>>> compute_stage_imm(Cluster& cl,
+                                                  CachedRdd<T>& rdd,
+                                                  const TreeAggSpec<T, U>& spec,
+                                                  int job, AggMetrics* m) {
+  const int p = rdd.num_partitions();
+  for (int stage_attempt = 0;; ++stage_attempt) {
+    const std::int64_t key = static_cast<std::int64_t>(job);
+    bool failed = false;
+    std::exception_ptr error;
+    sim::WaitGroup wg(cl.simulator());
+    wg.add(p);
+    struct Worker {
+      static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
+                                const TreeAggSpec<T, U>& spec, int job,
+                                int task, int attempt, std::int64_t key,
+                                bool& failed, sim::WaitGroup& wg,
+                                std::exception_ptr& error) {
+        try {
+          U agg = co_await compute_attempt(cl, rdd, spec,
+                                           TaskId{job, 0, task, attempt});
+          const int exec_id = rdd.preferred_executor(task);
+          Executor& ex = cl.executor(exec_id);
+          auto& obj = ex.mutable_object(key, cl.simulator());
+          co_await obj.lock->acquire();
+          sim::SemaphoreGuard g(*obj.lock);
+          if (!obj.value) obj.value = std::make_shared<U>(spec.zero);
+          co_await cl.simulator().sleep(cl.merge_cost(spec.bytes(agg)));
+          spec.comb_op(*std::static_pointer_cast<U>(obj.value), agg);
+          ++obj.merges;
+          // Status update carries only (executor id, object id).
+          co_await cl.simulator().sleep(cl.control_latency(exec_id));
+          (void)cl.driver_loop().enqueue(sim::microseconds(20));
+        } catch (const TaskFailed&) {
+          failed = true;
+        } catch (...) {
+          if (!error) error = std::current_exception();
+        }
+        wg.done();
+      }
+    };
+    for (int t = 0; t < p; ++t) {
+      cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t, stage_attempt,
+                                      key, failed, wg, error));
+    }
+    co_await wg.wait();
+    if (error) std::rethrow_exception(error);
+    if (!failed) {
+      std::vector<Blob<U>> out;
+      for (int e = 0; e < cl.num_executors(); ++e) {
+        Executor& ex = cl.executor(e);
+        auto& obj = ex.mutable_object(key, cl.simulator());
+        if (obj.value) {
+          auto val = std::static_pointer_cast<U>(obj.value);
+          out.push_back(Blob<U>{val, spec.bytes(*val), e,
+                                /*serialized=*/false});
+        }
+        ex.clear_mutable_object(key);
+      }
+      co_return out;
+    }
+    if (m) ++m->stage_restarts;
+    for (int e = 0; e < cl.num_executors(); ++e) {
+      cl.executor(e).clear_mutable_object(key);
+    }
+    if (stage_attempt + 1 >= cl.config().max_task_attempts) {
+      throw std::runtime_error("stage exceeded max attempts; job aborted");
+    }
+  }
+}
+
+/// One shuffle-combine reduce task: fetch inputs (concurrently),
+/// deserialize and merge them, re-serialize the result.
+template <typename U>
+sim::Task<Blob<U>> reduce_task(Cluster& cl, std::vector<Blob<U>> inputs,
+                               int dest_exec,
+                               const std::function<void(U&, const U&)>& comb,
+                               const std::function<std::uint64_t(const U&)>&
+                                   bytes_of) {
+  Executor& ex = cl.executor(dest_exec);
+  const Time dispatched =
+      cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
+  co_await cl.simulator().sleep_until(dispatched);
+  co_await cl.simulator().sleep(cl.control_latency(dest_exec));
+  co_await ex.cores().acquire();
+  sim::SemaphoreGuard slot(ex.cores());
+  co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
+  // Fetch all remote inputs concurrently (Spark pipelines shuffle fetches).
+  // IMM results are not yet serialized: the source pays that cost now.
+  sim::WaitGroup fetches(cl.simulator());
+  for (const auto& in : inputs) {
+    if (in.executor == dest_exec && in.serialized) continue;
+    fetches.add(1);
+    struct Fetch {
+      static sim::Task<void> go(Cluster& cl, int from, int to,
+                                std::uint64_t b, bool serialized,
+                                sim::WaitGroup& wg) {
+        if (!serialized) co_await cl.simulator().sleep(cl.ser_time(b));
+        if (from != to) co_await cl.fetch_blob(from, to, b);
+        wg.done();
+      }
+    };
+    cl.simulator().spawn(Fetch::go(cl, in.executor, dest_exec, in.bytes,
+                                   in.serialized, fetches));
+  }
+  co_await fetches.wait();
+  std::optional<U> acc;
+  for (auto& in : inputs) {
+    co_await cl.simulator().sleep(cl.deser_time(in.bytes));
+    if (!acc) {
+      acc = *in.value;  // copy: inputs may be shared with other views
+    } else {
+      co_await cl.simulator().sleep(cl.merge_cost(in.bytes));
+      comb(*acc, *in.value);
+    }
+  }
+  const std::uint64_t out_bytes = bytes_of(*acc);
+  co_await cl.simulator().sleep(cl.ser_time(out_bytes));
+  co_await cl.simulator().sleep(cl.control_latency(dest_exec));
+  (void)cl.driver_loop().enqueue(sim::microseconds(50));
+  co_return Blob<U>{std::make_shared<U>(std::move(*acc)), out_bytes,
+                    dest_exec};
+}
+
+/// Final serial reduce at the driver: results arrive (inline or via
+/// BlockManager fetch) and are deserialized + merged one at a time through
+/// the driver loop.
+template <typename U>
+sim::Task<U> driver_reduce(Cluster& cl, std::vector<Blob<U>> inputs,
+                           const std::function<void(U&, const U&)>& comb) {
+  std::optional<U> acc;
+  sim::WaitGroup wg(cl.simulator());
+  wg.add(static_cast<std::int64_t>(inputs.size()));
+  struct Arrive {
+    static sim::Task<void> go(Cluster& cl, Blob<U> in, std::optional<U>& acc,
+                              const std::function<void(U&, const U&)>& comb,
+                              sim::WaitGroup& wg) {
+      co_await cl.simulator().sleep(cl.control_latency(in.executor));
+      if (!in.serialized) {
+        co_await cl.simulator().sleep(cl.ser_time(in.bytes));
+      }
+      if (in.bytes > kDirectResultLimit) {
+        co_await cl.fetch_blob(in.executor, Cluster::kDriver, in.bytes);
+      }
+      const Duration work =
+          cl.driver_deser_time(in.bytes) + cl.driver_merge_cost(in.bytes);
+      const Time done = cl.driver_loop().enqueue(work);
+      co_await cl.simulator().sleep_until(done);
+      if (!acc) {
+        acc = *in.value;
+      } else {
+        comb(*acc, *in.value);
+      }
+      wg.done();
+    }
+  };
+  for (auto& in : inputs) {
+    cl.simulator().spawn(Arrive::go(cl, in, acc, comb, wg));
+  }
+  co_await wg.wait();
+  co_return std::move(*acc);
+}
+
+}  // namespace detail
+
+/// Spark's treeAggregate (optionally with IMM in the compute stage,
+/// per `cluster.config().agg_mode`). Returns the fully reduced aggregator.
+template <typename T, typename U>
+sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
+                            const TreeAggSpec<T, U>& spec,
+                            AggMetrics* metrics = nullptr) {
+  AggMetrics local;
+  AggMetrics* m = metrics ? metrics : &local;
+  const int job = cl.next_job_id();
+  m->start = cl.simulator().now();
+  m->task_retries = 0;
+  m->stage_restarts = 0;
+
+  const bool imm = cl.config().agg_mode != AggMode::kTree;
+  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+  std::vector<detail::Blob<U>> blobs;
+  if (imm) {
+    blobs = co_await detail::compute_stage_imm(cl, rdd, spec, job, m);
+  } else {
+    blobs = co_await detail::compute_stage_plain(cl, rdd, spec, job, m);
+  }
+  m->compute_done = cl.simulator().now();
+
+  // Spark's reduction schedule: scale = max(ceil(P^(1/depth)), 2); combine
+  // rounds shrink the partition count while it stays above
+  // scale + ceil(P/scale); then reduce at the driver.
+  int num_partitions = static_cast<int>(blobs.size());
+  const int depth = std::max(1, cl.config().tree_depth);
+  const int scale = std::max(
+      2, static_cast<int>(std::ceil(
+             std::pow(static_cast<double>(num_partitions), 1.0 / depth))));
+  while (num_partitions >
+         scale + static_cast<int>(std::ceil(static_cast<double>(num_partitions) /
+                                            scale))) {
+    num_partitions /= scale;
+    std::vector<std::vector<detail::Blob<U>>> groups(
+        static_cast<std::size_t>(num_partitions));
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+      groups[i % static_cast<std::size_t>(num_partitions)].push_back(
+          std::move(blobs[i]));
+    }
+    co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+    std::vector<detail::Blob<U>> next(static_cast<std::size_t>(num_partitions));
+    sim::WaitGroup wg(cl.simulator());
+    wg.add(num_partitions);
+    struct Combine {
+      static sim::Task<void> go(Cluster& cl,
+                                std::vector<detail::Blob<U>> inputs,
+                                int dest_exec, const TreeAggSpec<T, U>& spec,
+                                detail::Blob<U>& out, sim::WaitGroup& wg) {
+        out = co_await detail::reduce_task<U>(cl, std::move(inputs), dest_exec,
+                                              spec.comb_op, spec.bytes);
+        wg.done();
+      }
+    };
+    for (int j = 0; j < num_partitions; ++j) {
+      const int dest = j % cl.num_executors();
+      cl.simulator().spawn(Combine::go(cl,
+                                       std::move(groups[static_cast<std::size_t>(j)]),
+                                       dest, spec,
+                                       next[static_cast<std::size_t>(j)], wg));
+    }
+    co_await wg.wait();
+    blobs = std::move(next);
+  }
+
+  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+  U result = co_await detail::driver_reduce<U>(cl, std::move(blobs),
+                                               spec.comb_op);
+  m->end = cl.simulator().now();
+  co_return result;
+}
+
+/// Sparker's splitAggregate (paper Figure 6): reduced-result stage, then a
+/// statically scheduled SpawnRDD stage running ring reduce-scatter over the
+/// scalable communicator, then collect + concatOp at the driver.
+template <typename T, typename U, typename V>
+sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
+                             const SplitAggSpec<T, U, V>& spec,
+                             AggMetrics* metrics = nullptr) {
+  AggMetrics local;
+  AggMetrics* m = metrics ? metrics : &local;
+  const int job = cl.next_job_id();
+  m->start = cl.simulator().now();
+  m->task_retries = 0;
+  m->stage_restarts = 0;
+
+  // Stage 1: reduced-result stage; exactly one aggregator per executor.
+  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+  auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m);
+  m->compute_done = cl.simulator().now();
+
+  auto& sc = cl.scalable_comm();
+  const int n = sc.size();
+  // Executors that received no partition contribute a zero aggregator.
+  std::vector<std::shared_ptr<U>> per_exec(static_cast<std::size_t>(n));
+  for (auto& b : blobs) {
+    per_exec[static_cast<std::size_t>(b.executor)] = b.value;
+  }
+  for (auto& v : per_exec) {
+    if (!v) v = std::make_shared<U>(spec.base.zero);
+  }
+
+  // Stage 2: SpawnRDD — one task pinned to each executor.
+  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+  std::vector<std::pair<int, V>> all_segs;
+  std::uint64_t total_v_bytes = 0;
+  sim::WaitGroup wg(cl.simulator());
+  wg.add(n);
+  struct RingTask {
+    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc, int exec_id,
+                              const SplitAggSpec<T, U, V>& spec,
+                              std::shared_ptr<U> local,
+                              std::vector<std::pair<int, V>>& all_segs,
+                              std::uint64_t& total_v_bytes,
+                              sim::WaitGroup& wg) {
+      const Time dispatched =
+          cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
+      co_await cl.simulator().sleep_until(dispatched);
+      co_await cl.simulator().sleep(cl.control_latency(exec_id));
+      Executor& ex = cl.executor(exec_id);
+      co_await ex.cores().acquire();
+      sim::SemaphoreGuard slot(ex.cores());
+      co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
+      // Splitting the aggregator into P*N segments is one pass over it.
+      co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
+      comm::SegOps<V> ops;
+      ops.split = [&spec, &local](int seg, int nseg) {
+        return spec.split_op(*local, seg, nseg);
+      };
+      ops.reduce_into = spec.reduce_op;
+      ops.bytes = spec.v_bytes;
+      ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
+      const int rank = cl.rank_of_executor(exec_id);
+      auto segs = co_await comm::ring_reduce_scatter<V>(sc, rank, ops);
+      // Ship this task's P segments to the driver as its task result.
+      std::uint64_t nbytes = 0;
+      for (auto& [idx, v] : segs) nbytes += spec.v_bytes(v);
+      co_await cl.simulator().sleep(cl.ser_time(nbytes));
+      co_await cl.simulator().sleep(cl.control_latency(exec_id));
+      if (nbytes > detail::kDirectResultLimit) {
+        co_await cl.fetch_blob(exec_id, Cluster::kDriver, nbytes);
+      }
+      const Time done =
+          cl.driver_loop().enqueue(cl.driver_deser_time(nbytes));
+      co_await cl.simulator().sleep_until(done);
+      for (auto& s : segs) all_segs.push_back(std::move(s));
+      total_v_bytes += nbytes;
+      wg.done();
+    }
+  };
+  for (int e = 0; e < n; ++e) {
+    cl.simulator().spawn(RingTask::go(cl, sc, e, spec,
+                                      per_exec[static_cast<std::size_t>(e)],
+                                      all_segs, total_v_bytes, wg));
+  }
+  co_await wg.wait();
+
+  std::sort(all_segs.begin(), all_segs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const Time done =
+      cl.driver_loop().enqueue(cl.driver_merge_cost(total_v_bytes));
+  co_await cl.simulator().sleep_until(done);
+  V result = spec.concat_op(all_segs);
+  m->end = cl.simulator().now();
+  co_return result;
+}
+
+/// Allreduce-flavoured split aggregation (extension; paper Section 6 notes
+/// the driver becomes the new bottleneck once reduction scales — this
+/// removes the driver from the data path entirely): a reduced-result
+/// stage, then a Rabenseifner allreduce (ring reduce-scatter + ring
+/// allgather) over the scalable communicator, leaving the fully reduced
+/// value *resident on every executor*. The driver receives only a tiny
+/// digest. If `result_key >= 0`, each executor's replica is stored in its
+/// mutable object manager under that key so subsequent stages can use it
+/// without a broadcast.
+template <typename T, typename U, typename V>
+sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
+                             const SplitAggSpec<T, U, V>& spec,
+                             AggMetrics* metrics = nullptr,
+                             std::int64_t result_key = -1) {
+  AggMetrics local;
+  AggMetrics* m = metrics ? metrics : &local;
+  const int job = cl.next_job_id();
+  m->start = cl.simulator().now();
+  m->task_retries = 0;
+  m->stage_restarts = 0;
+
+  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+  auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m);
+  m->compute_done = cl.simulator().now();
+
+  auto& sc = cl.scalable_comm();
+  const int n = sc.size();
+  std::vector<std::shared_ptr<U>> per_exec(static_cast<std::size_t>(n));
+  for (auto& b : blobs) {
+    per_exec[static_cast<std::size_t>(b.executor)] = b.value;
+  }
+  for (auto& v : per_exec) {
+    if (!v) v = std::make_shared<U>(spec.base.zero);
+  }
+
+  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+  std::shared_ptr<V> result;
+  sim::WaitGroup wg(cl.simulator());
+  wg.add(n);
+  struct AllreduceTask {
+    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc,
+                              int exec_id, const SplitAggSpec<T, U, V>& spec,
+                              std::shared_ptr<U> local,
+                              std::shared_ptr<V>& result,
+                              std::int64_t result_key, sim::WaitGroup& wg) {
+      const Time dispatched =
+          cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
+      co_await cl.simulator().sleep_until(dispatched);
+      co_await cl.simulator().sleep(cl.control_latency(exec_id));
+      Executor& ex = cl.executor(exec_id);
+      co_await ex.cores().acquire();
+      sim::SemaphoreGuard slot(ex.cores());
+      co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
+      co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
+      comm::SegOps<V> ops;
+      ops.split = [&spec, &local](int seg, int nseg) {
+        return spec.split_op(*local, seg, nseg);
+      };
+      ops.reduce_into = spec.reduce_op;
+      ops.bytes = spec.v_bytes;
+      ops.concat = spec.concat_op;
+      ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
+      const int rank = cl.rank_of_executor(exec_id);
+      V full = co_await comm::rabenseifner_allreduce<V>(sc, rank, ops);
+      // Assembling the replica is one pass over it.
+      co_await cl.simulator().sleep(cl.merge_cost(spec.v_bytes(full)));
+      // Only a digest (loss/status) travels to the driver.
+      co_await cl.simulator().sleep(cl.control_latency(exec_id));
+      (void)cl.driver_loop().enqueue(sim::microseconds(20));
+      if (rank == 0) result = std::make_shared<V>(full);
+      if (result_key >= 0) {
+        auto& obj = ex.mutable_object(result_key, cl.simulator());
+        obj.value = std::make_shared<V>(std::move(full));
+      }
+      wg.done();
+    }
+  };
+  for (int e = 0; e < n; ++e) {
+    cl.simulator().spawn(AllreduceTask::go(
+        cl, sc, e, spec, per_exec[static_cast<std::size_t>(e)], result,
+        result_key, wg));
+  }
+  co_await wg.wait();
+  m->end = cl.simulator().now();
+  co_return std::move(*result);
+}
+
+}  // namespace sparker::engine

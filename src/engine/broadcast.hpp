@@ -1,0 +1,71 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "comm/collectives.hpp"
+#include "engine/cluster.hpp"
+
+/// \file broadcast.hpp
+/// Torrent-style broadcast: the driver seeds one executor with the blob,
+/// then a binomial relay over the scalable communicator spreads it to all
+/// executors (Spark's TorrentBroadcast has the same log-depth, NIC-bound
+/// behaviour). The real payload rides along so downstream code can use it;
+/// time is charged from the modeled byte count.
+
+namespace sparker::engine {
+
+/// Broadcasts `value` (modeled wire size `bytes`) from the driver to every
+/// executor. Completes when the slowest executor holds it. If
+/// `store_key >= 0` the value is stored in every executor's mutable object
+/// manager under that key.
+template <typename V>
+sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
+                                std::uint64_t bytes,
+                                std::int64_t store_key = -1) {
+  auto& sc = cl.scalable_comm();
+  const int n = sc.size();
+  // Seed: driver ships the blob to the executor at ring rank 0.
+  const int seed_exec = cl.executor_of_rank(0);
+  co_await cl.fetch_blob(Cluster::kDriver, seed_exec, bytes);
+  // Relay: block-pipelined binomial broadcast among the executors
+  // (TorrentBroadcast uses 4 MB blocks; pipelining keeps every relay hop
+  // busy so the total is ~transfer time + log-depth latency, not
+  // hops x transfer).
+  constexpr std::uint64_t kBlock = 4ull << 20;
+  const int blocks = static_cast<int>(
+      std::min<std::uint64_t>(64, std::max<std::uint64_t>(1, bytes / kBlock)));
+  const std::uint64_t per_block = bytes / static_cast<std::uint64_t>(blocks);
+  sim::WaitGroup wg(cl.simulator());
+  wg.add(n);
+  struct Relay {
+    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc, int rank,
+                              std::shared_ptr<V> value, int blocks,
+                              std::uint64_t per_block, std::int64_t store_key,
+                              sim::WaitGroup& wg) {
+      V got{};
+      for (int b = 0; b < blocks; ++b) {
+        got = co_await comm::binomial_broadcast<V>(sc, rank, /*root=*/0,
+                                                   value, per_block);
+      }
+      if (store_key >= 0) {
+        Executor& ex = cl.executor(cl.executor_of_rank(rank));
+        auto& obj = ex.mutable_object(store_key, cl.simulator());
+        obj.value = std::make_shared<V>(std::move(got));
+      }
+      wg.done();
+    }
+  };
+  for (int r = 0; r < n; ++r) {
+    // Hoisted: a `?:` temporary inside a coroutine call expression is
+    // destroyed twice by GCC 12 (PR and friends); name it instead.
+    std::shared_ptr<V> seed;
+    if (r == 0) seed = value;
+    cl.simulator().spawn(
+        Relay::go(cl, sc, r, seed, blocks, per_block, store_key, wg));
+  }
+  co_await wg.wait();
+}
+
+}  // namespace sparker::engine

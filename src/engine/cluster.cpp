@@ -1,0 +1,121 @@
+#include "engine/cluster.hpp"
+
+#include <algorithm>
+
+namespace sparker::engine {
+
+const char* to_string(AggMode m) {
+  switch (m) {
+    case AggMode::kTree:
+      return "Tree";
+    case AggMode::kTreeImm:
+      return "Tree+IMM";
+    case AggMode::kSplit:
+      return "Split";
+  }
+  return "?";
+}
+
+Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
+    : sim_(&sim), spec_(std::move(spec)), cfg_(cfg), driver_loop_(sim) {
+  fabric_ = std::make_unique<net::Fabric>(sim, spec_.fabric, spec_.num_nodes);
+  const auto infos =
+      comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
+  executors_.reserve(infos.size());
+  for (const auto& info : infos) {
+    executors_.push_back(std::make_unique<Executor>(
+        sim, info.executor_id, info.host, spec_.cores_per_executor,
+        info.hostname));
+  }
+}
+
+Cluster::DemuxConn& Cluster::demux(int from, int to) {
+  const std::int64_t key =
+      (static_cast<std::int64_t>(from + 1) << 24) |
+      static_cast<std::int64_t>(to + 1);
+  auto it = demux_.find(key);
+  if (it == demux_.end()) {
+    const int src_host =
+        (from == kDriver) ? driver_host() : executor(from).host();
+    const int dst_host = (to == kDriver) ? driver_host() : executor(to).host();
+    auto dc = std::make_unique<DemuxConn>(*fabric_, src_host, dst_host,
+                                          spec_.bm_link, *sim_);
+    // Pump: route delivered messages to their tag's slot.
+    struct Pump {
+      static sim::Task<void> go(DemuxConn& d) {
+        for (;;) {
+          net::Message m = co_await d.conn.inbox().recv();
+          d.slot(m.tag).send(std::move(m));
+        }
+      }
+    };
+    dc->pump_task = Pump::go(*dc);
+    sim_->schedule_now(dc->pump_task.handle());
+    it = demux_.emplace(key, std::move(dc)).first;
+  }
+  return *it->second;
+}
+
+sim::Task<void> Cluster::fetch_blob(int from, int to, std::uint64_t bytes) {
+  DemuxConn& dc = demux(from, to);
+  const int tag = fetch_seq_++;
+  auto& slot = dc.slot(tag);
+  // Fetch request travels one control hop before the source starts sending.
+  const int dst_host = (to == kDriver) ? driver_host() : executor(to).host();
+  const int src_host =
+      (from == kDriver) ? driver_host() : executor(from).host();
+  co_await sim_->sleep(fabric_->latency(dst_host, src_host) + rpc_overhead_);
+  net::Message m;
+  m.tag = tag;
+  m.bytes = bytes;
+  dc.conn.post(std::move(m));
+  (void)co_await slot.recv();
+  dc.slots.erase(tag);
+}
+
+void Cluster::rebuild_comm() {
+  const auto infos =
+      comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
+  std::vector<comm::ExecutorInfo> order = infos;
+  if (cfg_.topology_aware) {
+    std::sort(order.begin(), order.end(),
+              [](const comm::ExecutorInfo& a, const comm::ExecutorInfo& b) {
+                if (a.hostname != b.hostname) return a.hostname < b.hostname;
+                return a.executor_id < b.executor_id;
+              });
+  }  // else: keep executor-id order (round-robin across hosts).
+  rank_to_exec_.clear();
+  exec_to_rank_.assign(executors_.size(), -1);
+  std::vector<int> rank_to_host;
+  for (const auto& e : order) {
+    exec_to_rank_[static_cast<std::size_t>(e.executor_id)] =
+        static_cast<int>(rank_to_exec_.size());
+    rank_to_exec_.push_back(e.executor_id);
+    rank_to_host.push_back(e.host);
+  }
+  sc_ = std::make_unique<comm::Communicator>(
+      *fabric_, std::move(rank_to_host), spec_.sc_link, cfg_.sai_parallelism,
+      spec_.cores_per_executor);
+  sc_parallelism_ = cfg_.sai_parallelism;
+  sc_topology_aware_ = cfg_.topology_aware;
+}
+
+comm::Communicator& Cluster::scalable_comm() {
+  if (!sc_ || sc_parallelism_ != cfg_.sai_parallelism ||
+      sc_topology_aware_ != cfg_.topology_aware) {
+    rebuild_comm();
+  }
+  return *sc_;
+}
+
+int Cluster::rank_of_executor(int exec_id) {
+  scalable_comm();
+  return exec_to_rank_.at(static_cast<std::size_t>(exec_id));
+}
+
+int Cluster::executor_of_rank(int rank) {
+  scalable_comm();
+  return rank_to_exec_.at(static_cast<std::size_t>(rank));
+}
+
+}  // namespace sparker::engine

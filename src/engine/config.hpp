@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+/// \file config.hpp
+/// Engine-level configuration: aggregation mode, fault injection and
+/// straggler plans.
+
+namespace sparker::engine {
+
+/// Thrown when a modeled memory requirement exceeds the configured JVM
+/// heap (the paper's Table 2 notes LR on kdd12 "runs out of memory under
+/// both of our configurations" — the L-BFGS history alone exceeds the
+/// driver heap at 54.7M features).
+struct OomError : std::runtime_error {
+  explicit OomError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Identifies one task attempt for fault-injection decisions.
+struct TaskId {
+  int job = 0;      ///< job sequence number within the cluster's lifetime.
+  int stage = 0;    ///< stage index within the job (0 = compute stage).
+  int task = 0;     ///< task index within the stage.
+  int attempt = 0;  ///< 0 for the first run.
+};
+
+/// Decides which task attempts fail (for fault-tolerance tests). The
+/// default plan never fails anything.
+struct FaultPlan {
+  std::function<bool(const TaskId&)> should_fail;
+  bool fails(const TaskId& id) const {
+    return should_fail ? should_fail(id) : false;
+  }
+};
+
+/// Per-executor compute slowdown multipliers (straggler model); executors
+/// not present run at speed 1.
+struct StragglerPlan {
+  std::unordered_map<int, double> slowdown;
+  double factor(int executor) const {
+    auto it = slowdown.find(executor);
+    return it == slowdown.end() ? 1.0 : it->second;
+  }
+};
+
+/// Aggregation execution mode (what the benchmarks compare).
+enum class AggMode {
+  kTree,        ///< vanilla Spark treeAggregate.
+  kTreeImm,     ///< treeAggregate with In-Memory Merge in the first stage.
+  kSplit,       ///< Sparker split aggregation (IMM + ring reduce-scatter).
+};
+
+const char* to_string(AggMode m);
+
+struct EngineConfig {
+  AggMode agg_mode = AggMode::kTree;
+  int tree_depth = 2;          ///< Spark treeAggregate depth.
+  int sai_parallelism = 4;     ///< P: parallel ring channels (paper: 4).
+  bool topology_aware = true;  ///< sort executors by hostname for the ring.
+  int max_task_attempts = 4;   ///< task retries before the job fails.
+  FaultPlan faults{};
+  StragglerPlan stragglers{};
+};
+
+}  // namespace sparker::engine

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+/// \file rdd.hpp
+/// A minimal cached RDD: partitioned in-memory data with executor affinity.
+///
+/// The paper's workloads cache their input with storage level MEMORY_ONLY
+/// and pre-load it with a count() action before timing anything, so the
+/// engine models exactly that regime: partitions are materialized vectors
+/// pinned to a home executor, and recomputing a partition (after a task
+/// failure) re-runs its generator deterministically.
+
+namespace sparker::engine {
+
+template <typename T>
+class CachedRdd {
+ public:
+  /// `gen(pid)` produces partition pid's rows; must be deterministic (it is
+  /// re-invoked on recompute after failure injection).
+  CachedRdd(int num_partitions, int num_executors,
+            std::function<std::vector<T>(int)> gen)
+      : gen_(std::move(gen)) {
+    if (num_partitions <= 0) throw std::invalid_argument("no partitions");
+    if (num_executors <= 0) throw std::invalid_argument("no executors");
+    parts_.resize(static_cast<std::size_t>(num_partitions));
+    for (int p = 0; p < num_partitions; ++p) {
+      parts_[static_cast<std::size_t>(p)].executor = p % num_executors;
+    }
+  }
+
+  int num_partitions() const noexcept {
+    return static_cast<int>(parts_.size());
+  }
+
+  /// Home executor of a partition (tasks are scheduled PROCESS_LOCAL).
+  int preferred_executor(int pid) const {
+    return parts_.at(static_cast<std::size_t>(pid)).executor;
+  }
+
+  /// Overrides a partition's home executor (used by narrow-dependency
+  /// transformations to inherit the parent's affinity).
+  void set_preferred_executor(int pid, int executor) {
+    parts_.at(static_cast<std::size_t>(pid)).executor = executor;
+  }
+
+  /// Materialized rows of a partition (generated on first access — the
+  /// moral equivalent of `rdd.cache(); rdd.count()`).
+  const std::vector<T>& partition(int pid) {
+    auto& p = parts_.at(static_cast<std::size_t>(pid));
+    if (!p.data) p.data = std::make_unique<std::vector<T>>(gen_(pid));
+    return *p.data;
+  }
+
+  /// Forces materialization of every partition (the count() preload).
+  void materialize() {
+    for (int p = 0; p < num_partitions(); ++p) (void)partition(p);
+  }
+
+  /// Total number of rows across all partitions (materializes).
+  std::size_t count() {
+    std::size_t n = 0;
+    for (int p = 0; p < num_partitions(); ++p) n += partition(p).size();
+    return n;
+  }
+
+ private:
+  struct Part {
+    int executor = 0;
+    std::unique_ptr<std::vector<T>> data;
+  };
+  std::function<std::vector<T>(int)> gen_;
+  std::vector<Part> parts_;
+};
+
+}  // namespace sparker::engine

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "engine/rdd.hpp"
+#include "sim/random.hpp"
+
+/// \file transform.hpp
+/// Functional RDD transformations: lazily derived CachedRdds whose
+/// partitions are computed from a parent on first access (and, like
+/// Spark's narrow dependencies, recomputed deterministically after a task
+/// failure). The parent must outlive the derived RDD.
+
+namespace sparker::engine {
+
+/// map: one output row per input row.
+template <typename In, typename Out>
+std::unique_ptr<CachedRdd<Out>> map_rdd(CachedRdd<In>& parent,
+                                        std::function<Out(const In&)> f) {
+  const int parts = parent.num_partitions();
+  auto gen = [&parent, f](int pid) {
+    std::vector<Out> out;
+    const auto& rows = parent.partition(pid);
+    out.reserve(rows.size());
+    for (const In& r : rows) out.push_back(f(r));
+    return out;
+  };
+  // Executor affinity mirrors the parent (narrow dependency).
+  auto rdd = std::make_unique<CachedRdd<Out>>(parts, 1, gen);
+  for (int p = 0; p < parts; ++p) {
+    rdd->set_preferred_executor(p, parent.preferred_executor(p));
+  }
+  return rdd;
+}
+
+/// filter: keeps rows satisfying the predicate.
+template <typename T>
+std::unique_ptr<CachedRdd<T>> filter_rdd(CachedRdd<T>& parent,
+                                         std::function<bool(const T&)> pred) {
+  const int parts = parent.num_partitions();
+  auto gen = [&parent, pred](int pid) {
+    std::vector<T> out;
+    for (const T& r : parent.partition(pid)) {
+      if (pred(r)) out.push_back(r);
+    }
+    return out;
+  };
+  auto rdd = std::make_unique<CachedRdd<T>>(parts, 1, gen);
+  for (int p = 0; p < parts; ++p) {
+    rdd->set_preferred_executor(p, parent.preferred_executor(p));
+  }
+  return rdd;
+}
+
+/// union: partitions of `a` followed by partitions of `b`.
+template <typename T>
+std::unique_ptr<CachedRdd<T>> union_rdd(CachedRdd<T>& a, CachedRdd<T>& b) {
+  const int pa = a.num_partitions();
+  const int parts = pa + b.num_partitions();
+  auto gen = [&a, &b, pa](int pid) {
+    return pid < pa ? a.partition(pid) : b.partition(pid - pa);
+  };
+  auto rdd = std::make_unique<CachedRdd<T>>(parts, 1, gen);
+  for (int p = 0; p < parts; ++p) {
+    rdd->set_preferred_executor(p, p < pa ? a.preferred_executor(p)
+                                          : b.preferred_executor(p - pa));
+  }
+  return rdd;
+}
+
+/// Bernoulli sample without replacement (Spark's rdd.sample(false, f)):
+/// deterministic in (seed, partition), independent across partitions —
+/// exactly what GradientDescent's mini-batch sampling does.
+template <typename T>
+std::unique_ptr<CachedRdd<T>> sample_rdd(CachedRdd<T>& parent,
+                                         double fraction,
+                                         std::uint64_t seed) {
+  const int parts = parent.num_partitions();
+  auto gen = [&parent, fraction, seed](int pid) {
+    sim::Rng rng = sim::Rng(seed).split(static_cast<std::uint64_t>(pid) + 1);
+    std::vector<T> out;
+    for (const T& r : parent.partition(pid)) {
+      if (rng.bernoulli(fraction)) out.push_back(r);
+    }
+    return out;
+  };
+  auto rdd = std::make_unique<CachedRdd<T>>(parts, 1, gen);
+  for (int p = 0; p < parts; ++p) {
+    rdd->set_preferred_executor(p, parent.preferred_executor(p));
+  }
+  return rdd;
+}
+
+}  // namespace sparker::engine

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/aggregate.hpp"
+#include "ml/gradient.hpp"
+#include "ml/linalg.hpp"
+
+/// \file aggregator.hpp
+/// The gradient aggregator and its split-aggregation callbacks — the C++
+/// rendition of the paper's Figure 7 (adapted from MLlib's
+/// RDDLossFunction). The aggregator is laid out as one flat additive array
+/// `[grad(0..d-1), loss_sum, count]`, so splitOp is slicing, reduceOp is
+/// element-wise addition, and concatOp is concatenation: exactly the
+/// properties the Split Aggregation Interface requires.
+
+namespace sparker::ml {
+
+/// Flat additive gradient aggregator (U in the paper's interface).
+struct GradientAggregator {
+  DenseVector flat;  ///< [gradient..., loss_sum, count]
+
+  explicit GradientAggregator(std::int64_t dim = 0)
+      : flat(static_cast<std::size_t>(dim) + 2, 0.0) {}
+
+  std::int64_t dim() const {
+    return static_cast<std::int64_t>(flat.size()) - 2;
+  }
+  double* grad() { return flat.data(); }
+  const double* grad() const { return flat.data(); }
+  double loss_sum() const { return flat[flat.size() - 2]; }
+  double count() const { return flat[flat.size() - 1]; }
+  void add_loss(double l) { flat[flat.size() - 2] += l; }
+  void add_count(double c) { flat[flat.size() - 1] += c; }
+
+  DenseVector gradient_copy() const {
+    return DenseVector(flat.begin(), flat.end() - 2);
+  }
+};
+
+/// Everything needed to run one gradient-aggregation job under either
+/// aggregation path.
+struct GradientJob {
+  engine::TreeAggSpec<LabeledPoint, GradientAggregator> tree;
+  engine::SplitAggSpec<LabeledPoint, GradientAggregator, DenseVector> split;
+};
+
+/// Cost model for a gradient pass (time is charged at *paper* scale; the
+/// real math runs on the scaled-down data).
+struct GradientCostModel {
+  double modeled_rows_per_partition = 0;  ///< paper-scale rows per task.
+  double modeled_avg_nnz = 0;             ///< paper-scale nonzeros/row.
+  sim::Duration per_nnz = 30;             ///< ns per nonzero per pass.
+  sim::Duration per_dim = 0;              ///< ns per gradient dimension/task.
+  std::int64_t modeled_dim = 0;           ///< paper-scale gradient size.
+};
+
+/// Builds the tree and split specs for one gradient evaluation at weights
+/// `w` (shared: the broadcast variable). `scale` = modeled/real dimension
+/// ratio, applied to wire sizes.
+inline GradientJob make_gradient_job(GradientKind kind,
+                                     std::shared_ptr<const DenseVector> w,
+                                     const GradientCostModel& cost) {
+  GradientJob job;
+  const auto real_dim = static_cast<std::int64_t>(w->size());
+  const double bytes_scale =
+      static_cast<double>(cost.modeled_dim) / static_cast<double>(real_dim);
+
+  auto& t = job.tree;
+  t.zero = GradientAggregator(real_dim);
+  t.seq_op = [kind, w](GradientAggregator& agg, const LabeledPoint& p) {
+    // Accumulating into `flat` directly is safe: feature indices are all
+    // < dim, so the two trailing (loss, count) slots are never touched.
+    const double loss = example_gradient(kind, *w, p, agg.flat);
+    agg.add_loss(loss);
+    agg.add_count(1.0);
+  };
+  t.comb_op = [](GradientAggregator& a, const GradientAggregator& b) {
+    add_into(a.flat, b.flat);
+  };
+  t.bytes = [bytes_scale](const GradientAggregator& a) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(a.flat.size() * sizeof(double)) * bytes_scale);
+  };
+  t.partition_cost = [cost](int, const std::vector<LabeledPoint>&) {
+    const double nnz_work = cost.modeled_rows_per_partition *
+                            cost.modeled_avg_nnz *
+                            static_cast<double>(cost.per_nnz);
+    const double dim_work = static_cast<double>(cost.modeled_dim) *
+                            static_cast<double>(cost.per_dim);
+    return static_cast<sim::Duration>(nnz_work + dim_work);
+  };
+
+  auto& s = job.split;
+  s.base = t;
+  s.split_op = [](const GradientAggregator& u, int seg, int nseg) {
+    auto [lo, hi] =
+        slice_bounds(static_cast<std::int64_t>(u.flat.size()), seg, nseg);
+    return slice(u.flat, lo, hi);
+  };
+  s.reduce_op = [](DenseVector& a, const DenseVector& b) { add_into(a, b); };
+  s.concat_op = [](std::vector<std::pair<int, DenseVector>>& segs) {
+    DenseVector out;
+    for (auto& [idx, v] : segs) out.insert(out.end(), v.begin(), v.end());
+    return out;
+  };
+  s.v_bytes = [bytes_scale](const DenseVector& v) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(v.size() * sizeof(double)) * bytes_scale);
+  };
+  return job;
+}
+
+/// Reassembles a GradientAggregator from the flat vector split aggregation
+/// returns (its layout is the aggregator's own flat layout).
+inline GradientAggregator aggregator_from_flat(DenseVector flat) {
+  GradientAggregator agg;
+  agg.flat = std::move(flat);
+  return agg;
+}
+
+}  // namespace sparker::ml

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cmath>
+
+#include "ml/linalg.hpp"
+
+/// \file gradient.hpp
+/// Per-example loss gradients, matching MLlib's `Gradient` implementations
+/// (LogisticGradient and HingeGradient) in mutating-accumulator form.
+
+namespace sparker::ml {
+
+enum class GradientKind { kLogistic, kHinge };
+
+/// Adds the logistic-loss gradient of (w, example) into `cum_grad` and
+/// returns the example's loss. Labels are {0, 1}, as in MLlib.
+inline double logistic_gradient(const DenseVector& w, const LabeledPoint& p,
+                                DenseVector& cum_grad) {
+  const double margin = -dot(w, p.features);
+  const double multiplier = 1.0 / (1.0 + std::exp(margin)) - p.label;
+  axpy(multiplier, p.features, cum_grad);
+  // log(1 + e^margin), computed stably.
+  const double log1p_exp =
+      margin > 0 ? margin + std::log1p(std::exp(-margin))
+                 : std::log1p(std::exp(margin));
+  return p.label > 0 ? log1p_exp : log1p_exp - margin;
+}
+
+/// Adds the hinge-loss (SVM) subgradient into `cum_grad`; labels {0, 1}
+/// are mapped to {-1, +1} as MLlib's HingeGradient does.
+inline double hinge_gradient(const DenseVector& w, const LabeledPoint& p,
+                             DenseVector& cum_grad) {
+  const double dot_prod = dot(w, p.features);
+  const double label_scaled = 2.0 * p.label - 1.0;
+  if (1.0 - label_scaled * dot_prod > 0) {
+    axpy(-label_scaled, p.features, cum_grad);
+    return 1.0 - label_scaled * dot_prod;
+  }
+  return 0.0;
+}
+
+/// Dispatches on the gradient kind.
+inline double example_gradient(GradientKind kind, const DenseVector& w,
+                               const LabeledPoint& p, DenseVector& cum_grad) {
+  switch (kind) {
+    case GradientKind::kLogistic:
+      return logistic_gradient(w, p, cum_grad);
+    case GradientKind::kHinge:
+      return hinge_gradient(w, p, cum_grad);
+  }
+  return 0.0;
+}
+
+}  // namespace sparker::ml

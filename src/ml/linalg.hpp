@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+/// \file linalg.hpp
+/// Dense/sparse vector primitives used by the MLlib-like layer. Dense
+/// vectors are plain `std::vector<double>` plus free functions, which keeps
+/// the aggregator types trivially splittable (the property the paper's
+/// interface exploits).
+
+namespace sparker::ml {
+
+using DenseVector = std::vector<double>;
+
+/// A sparse feature vector (sorted unique indices).
+struct SparseVector {
+  std::vector<std::int32_t> indices;
+  std::vector<double> values;
+  std::int64_t dim = 0;
+
+  std::size_t nnz() const noexcept { return indices.size(); }
+};
+
+/// One labeled training example.
+struct LabeledPoint {
+  double label = 0.0;  ///< {0, 1} for classification.
+  SparseVector features;
+};
+
+/// dot(w, x) for sparse x; indices beyond w.size() are ignored (feature
+/// hashing semantics).
+inline double dot(const DenseVector& w, const SparseVector& x) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < x.indices.size(); ++k) {
+    const auto i = static_cast<std::size_t>(x.indices[k]);
+    if (i < w.size()) s += w[i] * x.values[k];
+  }
+  return s;
+}
+
+inline double dot(const DenseVector& a, const DenseVector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// y += alpha * x (sparse x).
+inline void axpy(double alpha, const SparseVector& x, DenseVector& y) {
+  for (std::size_t k = 0; k < x.indices.size(); ++k) {
+    const auto i = static_cast<std::size_t>(x.indices[k]);
+    if (i < y.size()) y[i] += alpha * x.values[k];
+  }
+}
+
+/// y += alpha * x (dense x).
+inline void axpy(double alpha, const DenseVector& x, DenseVector& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha.
+inline void scal(double alpha, DenseVector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+inline double norm2(const DenseVector& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+/// Element-wise a += b, the canonical mergeable-aggregator operation.
+inline void add_into(DenseVector& a, const DenseVector& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("add_into: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+/// Contiguous slice bounds for segment `seg` of `nseg` over length `len`
+/// (first `len % nseg` segments get one extra element).
+inline std::pair<std::int64_t, std::int64_t> slice_bounds(std::int64_t len,
+                                                          int seg, int nseg) {
+  const std::int64_t base = len / nseg;
+  const std::int64_t rem = len % nseg;
+  const std::int64_t lo = seg * base + std::min<std::int64_t>(seg, rem);
+  const std::int64_t hi = lo + base + (seg < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+/// slice [lo, hi) of a dense vector.
+inline DenseVector slice(const DenseVector& v, std::int64_t lo,
+                         std::int64_t hi) {
+  return DenseVector(v.begin() + lo, v.begin() + hi);
+}
+
+}  // namespace sparker::ml

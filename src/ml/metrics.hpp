@@ -1,0 +1,88 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "engine/rdd.hpp"
+#include "ml/gradient.hpp"
+#include "ml/linalg.hpp"
+
+/// \file metrics.hpp
+/// Evaluation metrics for the trained classifiers (MLlib's
+/// BinaryClassificationMetrics, in local form): accuracy, precision /
+/// recall / F1, area under the ROC curve, and mean log-loss.
+
+namespace sparker::ml {
+
+struct BinaryMetrics {
+  double accuracy = 0;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  double auc = 0;
+  double log_loss = 0;
+  std::int64_t positives = 0;
+  std::int64_t negatives = 0;
+};
+
+/// Scores `w` against labeled data. `scores_out`, if given, receives the
+/// raw margins (for calibration plots).
+inline BinaryMetrics evaluate_binary(
+    const DenseVector& w, engine::CachedRdd<LabeledPoint>& rdd,
+    std::vector<std::pair<double, bool>>* scores_out = nullptr) {
+  BinaryMetrics m;
+  std::int64_t tp = 0, fp = 0, fn = 0, tn = 0;
+  std::vector<std::pair<double, bool>> scores;  // (margin, is_positive)
+  double log_loss_sum = 0;
+  for (int p = 0; p < rdd.num_partitions(); ++p) {
+    for (const auto& row : rdd.partition(p)) {
+      const double margin = dot(w, row.features);
+      const bool truth = row.label > 0.5;
+      const bool pred = margin > 0;
+      tp += (pred && truth);
+      fp += (pred && !truth);
+      fn += (!pred && truth);
+      tn += (!pred && !truth);
+      scores.emplace_back(margin, truth);
+      // clipped sigmoid log-loss
+      const double prob =
+          std::clamp(1.0 / (1.0 + std::exp(-margin)), 1e-12, 1.0 - 1e-12);
+      log_loss_sum += truth ? -std::log(prob) : -std::log(1.0 - prob);
+    }
+  }
+  const std::int64_t n = tp + fp + fn + tn;
+  m.positives = tp + fn;
+  m.negatives = fp + tn;
+  if (n == 0) return m;
+  m.accuracy = static_cast<double>(tp + tn) / static_cast<double>(n);
+  m.precision = (tp + fp) ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  m.recall = (tp + fn) ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  m.log_loss = log_loss_sum / static_cast<double>(n);
+
+  // AUC by the rank-sum (Mann-Whitney) formulation, ties averaged.
+  std::sort(scores.begin(), scores.end());
+  double rank_sum = 0;  // sum of ranks of positives (1-based, tie-averaged)
+  std::size_t i = 0;
+  while (i < scores.size()) {
+    std::size_t j = i;
+    while (j < scores.size() && scores[j].first == scores[i].first) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);  // (i+1+j)/2
+    for (std::size_t k = i; k < j; ++k) {
+      if (scores[k].second) rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const double np = static_cast<double>(m.positives);
+  const double nn = static_cast<double>(m.negatives);
+  if (np > 0 && nn > 0) {
+    m.auc = (rank_sum - np * (np + 1) / 2.0) / (np * nn);
+  }
+  if (scores_out) *scores_out = std::move(scores);
+  return m;
+}
+
+}  // namespace sparker::ml

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <deque>
+
+#include "ml/linalg.hpp"
+
+/// \file optimizer.hpp
+/// Driver-side optimizers. The update math runs for real at the driver;
+/// its simulated cost is charged by the training loop (this is part of the
+/// non-scalable "Driver" component in the paper's decompositions).
+
+namespace sparker::ml {
+
+/// Plain (projected) gradient descent step, as MLlib's GradientDescent
+/// uses for SVMWithSGD: w <- w - step/sqrt(iter) * (grad + reg * w).
+inline void sgd_step(DenseVector& w, const DenseVector& grad, int iteration,
+                     double step_size, double reg_param) {
+  const double step = step_size / std::sqrt(static_cast<double>(iteration));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] -= step * (grad[i] + reg_param * w[i]);
+  }
+}
+
+/// Limited-memory BFGS with the standard two-loop recursion (what MLlib's
+/// LogisticRegression uses via Breeze). History size `m` defaults to 10.
+class Lbfgs {
+ public:
+  explicit Lbfgs(int history = 10) : m_(history) {}
+
+  /// Computes the descent direction for the current gradient, updates the
+  /// internal history with (w - w_prev, g - g_prev), and returns the step
+  /// direction (already negated: w_next = w + direction * step).
+  DenseVector direction(const DenseVector& w, const DenseVector& grad) {
+    DenseVector q = grad;
+    if (have_prev_) {
+      DenseVector s = w;
+      axpy(-1.0, w_prev_, s);
+      DenseVector y = grad;
+      axpy(-1.0, g_prev_, y);
+      const double ys = dot(y, s);
+      if (ys > 1e-10) {
+        hist_.push_back({std::move(s), std::move(y), ys});
+        if (static_cast<int>(hist_.size()) > m_) hist_.pop_front();
+      }
+    }
+    w_prev_ = w;
+    g_prev_ = grad;
+    have_prev_ = true;
+
+    std::vector<double> alpha(hist_.size());
+    for (std::size_t i = hist_.size(); i-- > 0;) {
+      alpha[i] = dot(hist_[i].s, q) / hist_[i].ys;
+      axpy(-alpha[i], hist_[i].y, q);
+    }
+    if (!hist_.empty()) {
+      const auto& last = hist_.back();
+      const double gamma = last.ys / dot(last.y, last.y);
+      scal(gamma, q);
+    }
+    for (std::size_t i = 0; i < hist_.size(); ++i) {
+      const double beta = dot(hist_[i].y, q) / hist_[i].ys;
+      axpy(alpha[i] - beta, hist_[i].s, q);
+    }
+    scal(-1.0, q);
+    return q;
+  }
+
+  /// FLOP count of one direction() call at dimension `d` (for the driver
+  /// cost model): ~4 m d multiply-adds.
+  static double flops(int history, double d) { return 4.0 * history * d; }
+
+  int history() const noexcept { return m_; }
+
+ private:
+  struct Pair {
+    DenseVector s, y;
+    double ys;
+  };
+  int m_;
+  std::deque<Pair> hist_;
+  DenseVector w_prev_, g_prev_;
+  bool have_prev_ = false;
+};
+
+}  // namespace sparker::ml

@@ -1,0 +1,117 @@
+#include "ml/workload.hpp"
+
+#include <stdexcept>
+
+namespace sparker::ml {
+
+const char* to_string(ModelKind m) {
+  switch (m) {
+    case ModelKind::kLogisticRegression:
+      return "LR";
+    case ModelKind::kSvm:
+      return "SVM";
+    case ModelKind::kLda:
+      return "LDA";
+  }
+  return "?";
+}
+
+std::vector<Workload> paper_workloads() {
+  using data::avazu;
+  using data::criteo;
+  using data::enron;
+  using data::kdd10;
+  using data::kdd12;
+  using data::nytimes;
+  return {
+      {"LDA-E", ModelKind::kLda, &enron()},
+      {"LDA-N", ModelKind::kLda, &nytimes()},
+      {"LR-A", ModelKind::kLogisticRegression, &avazu()},
+      {"LR-C", ModelKind::kLogisticRegression, &criteo()},
+      {"LR-K", ModelKind::kLogisticRegression, &kdd10()},
+      {"SVM-A", ModelKind::kSvm, &avazu()},
+      {"SVM-C", ModelKind::kSvm, &criteo()},
+      {"SVM-K", ModelKind::kSvm, &kdd10()},
+      {"SVM-K12", ModelKind::kSvm, &kdd12()},
+  };
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  static const std::vector<Workload> all = paper_workloads();
+  for (const auto& w : all) {
+    if (w.name == name) return w;
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::unique_ptr<engine::CachedRdd<LabeledPoint>> make_classification_rdd(
+    const data::DatasetPreset& preset, int partitions, int executors,
+    std::uint64_t seed) {
+  auto model = std::make_shared<data::PlantedModel>(
+      data::make_planted_model(preset, seed));
+  const std::int64_t per_part =
+      std::max<std::int64_t>(1, preset.real_samples / partitions);
+  auto gen = [&preset, model, per_part, seed](int pid) {
+    return data::generate_classification_partition(preset, *model, pid,
+                                                   per_part, seed);
+  };
+  return std::make_unique<engine::CachedRdd<LabeledPoint>>(partitions,
+                                                           executors, gen);
+}
+
+std::unique_ptr<engine::CachedRdd<data::Document>> make_corpus_rdd(
+    const data::DatasetPreset& preset, int partitions, int executors,
+    std::uint64_t seed) {
+  auto topics = std::make_shared<data::PlantedTopics>(
+      data::make_planted_topics(preset, /*num_topics=*/10, seed));
+  const std::int64_t per_part =
+      std::max<std::int64_t>(1, preset.real_samples / partitions);
+  auto gen = [&preset, topics, per_part, seed](int pid) {
+    return data::generate_corpus_partition(preset, *topics, pid, per_part,
+                                           seed);
+  };
+  return std::make_unique<engine::CachedRdd<data::Document>>(partitions,
+                                                             executors, gen);
+}
+
+sim::Task<WorkloadRun> run_workload(engine::Cluster& cluster,
+                                    const Workload& workload, int iterations,
+                                    std::uint64_t seed, int partitions) {
+  if (partitions <= 0) partitions = cluster.spec().total_cores();
+  WorkloadRun run;
+  if (workload.model == ModelKind::kLda) {
+    auto rdd = make_corpus_rdd(*workload.dataset, partitions,
+                               cluster.num_executors(), seed);
+    rdd->materialize();
+    LdaConfig cfg;
+    cfg.iterations = iterations;
+    const sim::Time t0 = cluster.simulator().now();
+    LdaResult r = co_await train_lda(cluster, *rdd, *workload.dataset, cfg);
+    run.total = cluster.simulator().now() - t0;
+    run.breakdown = r.breakdown;
+    for (double ll : r.loglik_history) run.loss_history.push_back(-ll);
+  } else {
+    auto rdd = make_classification_rdd(*workload.dataset, partitions,
+                                       cluster.num_executors(), seed);
+    rdd->materialize();
+    TrainConfig cfg;
+    cfg.model = workload.model;
+    cfg.iterations = iterations;
+    if (workload.model == ModelKind::kSvm) {
+      cfg.reg_param = 0.01;  // Table 3
+      cfg.step_size = 1.0;
+    } else {
+      cfg.reg_param = 0.0;  // Table 3
+      cfg.step_size = 0.5;
+    }
+    const sim::Time t0 = cluster.simulator().now();
+    TrainResult r =
+        co_await train_linear(cluster, *rdd, *workload.dataset, cfg);
+    run.total = cluster.simulator().now() - t0;
+    run.breakdown = r.breakdown;
+    run.loss_history = std::move(r.loss_history);
+  }
+  co_return run;
+}
+
+}  // namespace sparker::ml

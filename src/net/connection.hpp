@@ -1,0 +1,158 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "net/fabric.hpp"
+#include "sim/channel.hpp"
+#include "sim/task.hpp"
+
+/// \file connection.hpp
+/// A unidirectional, FIFO, rate-limited message pipe between two hosts —
+/// the model of one TCP connection (a "message channel" in the paper's
+/// parallel-directed-ring topology, Figure 10).
+
+namespace sparker::net {
+
+/// A message in flight. `bytes` is the modeled wire size, which may be
+/// larger than the in-process payload when the workload is scaled down
+/// (see DESIGN.md §2); `payload` is the real in-process data.
+struct Message {
+  int src = -1;                    ///< sender rank (assigned by comm layer).
+  int channel = 0;                 ///< parallel-channel index.
+  int tag = 0;                     ///< user tag.
+  std::uint64_t bytes = 0;         ///< modeled wire size.
+  std::shared_ptr<void> payload;   ///< real data (type known to endpoints).
+};
+
+/// Behaviour of one logical connection; differs per communication backend
+/// (scalable communicator / BlockManager / MPI) and is calibrated from the
+/// paper's own micro-measurements.
+struct LinkParams {
+  double stream_bw = 340e6;        ///< per-stream throughput cap, bytes/s.
+  Duration send_overhead = sim::microseconds(30);  ///< per-message, sender.
+  Duration recv_overhead = sim::microseconds(30);  ///< per-message, receiver.
+  Duration per_chunk_cpu = 0;      ///< per-chunk software cost (framing).
+  std::size_t chunk_bytes = 64 * 1024;  ///< store-and-forward unit.
+  /// Upper bound on chunks per message: very large messages use
+  /// proportionally larger chunks so simulation cost stays bounded while
+  /// contention granularity remains fine relative to the message.
+  std::size_t max_chunks_per_msg = 256;
+  bool jvm = false;                ///< JVM-managed buffers (GC model applies).
+};
+
+/// One unidirectional connection. Messages posted to it are transmitted in
+/// order by an internal pump coroutine and appear in `inbox()` at their
+/// simulated delivery time.
+class Connection {
+ public:
+  Connection(Fabric& fabric, int src_host, int dst_host, LinkParams params)
+      : fabric_(&fabric),
+        sim_(&fabric.simulator()),
+        src_host_(src_host),
+        dst_host_(dst_host),
+        params_(params),
+        outbox_(*sim_),
+        inbox_(*sim_),
+        pump_(pump()) {
+    sim_->schedule_now(pump_.handle());
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Queues a message for transmission. Never blocks (ZeroMQ-style
+  /// buffered send).
+  void post(Message m) { outbox_.send(std::move(m)); }
+
+  /// Receiver-side delivery queue.
+  sim::Channel<Message>& inbox() noexcept { return inbox_; }
+
+  int src_host() const noexcept { return src_host_; }
+  int dst_host() const noexcept { return dst_host_; }
+  const LinkParams& params() const noexcept { return params_; }
+
+  /// Total modeled bytes delivered so far.
+  std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+
+ private:
+  sim::Task<void> pump() {
+    for (;;) {
+      Message m = co_await outbox_.recv();
+      co_await transmit(m);
+      bytes_delivered_ += m.bytes;
+      inbox_.send(std::move(m));
+    }
+  }
+
+  sim::Task<void> transmit(const Message& m) {
+    co_await sim_->sleep(params_.send_overhead);
+    const bool local = (src_host_ == dst_host_);
+    const Duration lat = fabric_->latency(src_host_, dst_host_);
+    if (local) {
+      // Loopback: no NIC, no stream cap; rate-limited by memory copies.
+      co_await sim_->sleep(
+          lat + sim::transfer_time(static_cast<double>(m.bytes),
+                                   fabric_->params().host.loopback_bw));
+    } else {
+      co_await transmit_remote(m, lat);
+    }
+    co_await sim_->sleep(params_.recv_overhead);
+  }
+
+  sim::Task<void> transmit_remote(const Message& m, Duration lat) {
+    Host& src = fabric_->host(src_host_);
+    Host& dst = fabric_->host(dst_host_);
+    const double nic_bw = fabric_->params().host.nic_bw;
+    Time last_delivery = sim_->now() + lat;
+    std::uint64_t remaining = m.bytes;
+    const std::uint64_t chunk_size = std::max<std::uint64_t>(
+        params_.chunk_bytes,
+        m.bytes / std::max<std::size_t>(1, params_.max_chunks_per_msg));
+    // Zero-byte messages still carry a header chunk.
+    do {
+      const std::uint64_t chunk = std::min<std::uint64_t>(remaining, chunk_size);
+      // Pace to the stream's rate cap: a chunk may not be injected earlier
+      // than one stream service time after the previous injection.
+      const Duration stream_t =
+          params_.per_chunk_cpu +
+          sim::transfer_time(static_cast<double>(chunk), params_.stream_bw);
+      if (stream_next_ > sim_->now()) {
+        co_await sim_->sleep_until(stream_next_);
+      }
+      stream_next_ = sim_->now() + stream_t;
+      // Sender NIC: store-and-forward, shared with all flows on this host.
+      const Duration nic_t =
+          sim::transfer_time(static_cast<double>(chunk), nic_bw);
+      const Time departed = src.egress.enqueue(nic_t);
+      if (params_.jvm) {
+        fabric_->charge_jvm_bytes(src_host_, static_cast<double>(chunk));
+      }
+      // Waiting for our own chunk to clear the NIC gives natural
+      // backpressure under contention (TCP window, approximately).
+      co_await sim_->sleep_until(departed);
+      // Receiver NIC, booked at arrival time.
+      last_delivery = dst.ingress.enqueue_at(departed + lat, nic_t);
+      remaining -= chunk;
+    } while (remaining > 0);
+    co_await sim_->sleep_until(last_delivery);
+    if (params_.jvm) {
+      fabric_->charge_jvm_bytes(dst_host_, static_cast<double>(m.bytes));
+    }
+  }
+
+  Fabric* fabric_;
+  sim::Simulator* sim_;
+  int src_host_;
+  int dst_host_;
+  LinkParams params_;
+  Time stream_next_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  sim::Channel<Message> outbox_;
+  sim::Channel<Message> inbox_;
+  sim::Task<void> pump_;  // declared last: destroyed first (it waits on
+                          // outbox_, whose waiter list refers into its frame)
+};
+
+}  // namespace sparker::net

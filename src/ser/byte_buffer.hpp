@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+/// \file byte_buffer.hpp
+/// A growable byte buffer with sequential read/write cursors — the wire
+/// format used when the engine serializes task results (Spark serializes
+/// every task result before shipping it to the driver; avoiding exactly this
+/// cost is what In-Memory Merge is about, Section 3.2 of the paper).
+///
+/// The format is little-endian, length-prefixed, with no padding; identical
+/// on every platform we target.
+
+namespace sparker::ser {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data)
+      : data_(std::move(data)) {}
+
+  // ---- writing -----------------------------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+
+  void write_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    data_.insert(data_.end(), b, b + n);
+  }
+
+  /// Unsigned LEB128 varint, for compact length prefixes.
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      data_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    data_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write_varint(v.size());
+    if (!v.empty()) write_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write_varint(s.size());
+    write_bytes(s.data(), s.size());
+  }
+
+  // ---- reading -----------------------------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T v;
+    check_avail(sizeof(T));
+    std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint64_t read_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      check_avail(1);
+      const std::uint8_t b = data_[read_pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+      if (shift >= 64) throw std::runtime_error("varint overflow");
+    }
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const std::uint64_t n = read_varint();
+    check_avail(n * sizeof(T));
+    std::vector<T> v(n);
+    if (n) std::memcpy(v.data(), data_.data() + read_pos_, n * sizeof(T));
+    read_pos_ += n * sizeof(T);
+    return v;
+  }
+
+  std::string read_string() {
+    const std::uint64_t n = read_varint();
+    check_avail(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + read_pos_), n);
+    read_pos_ += n;
+    return s;
+  }
+
+  // ---- inspection --------------------------------------------------------
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - read_pos_; }
+  bool exhausted() const noexcept { return read_pos_ == data_.size(); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return data_; }
+  void rewind() noexcept { read_pos_ = 0; }
+  void clear() noexcept {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+ private:
+  void check_avail(std::size_t n) const {
+    if (read_pos_ + n > data_.size()) {
+      throw std::runtime_error("ByteBuffer underrun");
+    }
+  }
+
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace sparker::ser

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "net/cluster.hpp"
+#include "ser/byte_buffer.hpp"
+#include "sim/types.hpp"
+
+/// \file codec.hpp
+/// Serialization customization point and the serialization *cost model*.
+///
+/// Types opt in by providing member functions
+///   void serialize(ser::ByteBuffer&) const;
+///   static T deserialize(ser::ByteBuffer&);
+/// and a wire-size accessor `std::uint64_t serialized_bytes() const`
+/// (the modeled size — may exceed the in-process size for scaled-down
+/// workloads, see DESIGN.md §2).
+
+namespace sparker::ser {
+
+template <typename T>
+concept Serializable = requires(const T& t, ByteBuffer& b) {
+  { t.serialize(b) } -> std::same_as<void>;
+  { T::deserialize(b) } -> std::same_as<T>;
+  { t.serialized_bytes() } -> std::convertible_to<std::uint64_t>;
+};
+
+/// Round-trips a value through the wire format (used by tests and by the
+/// engine's task-result path).
+template <Serializable T>
+T roundtrip(const T& v) {
+  ByteBuffer b;
+  v.serialize(b);
+  return T::deserialize(b);
+}
+
+/// Time to serialize `bytes` on one core.
+inline sim::Duration serialize_time(std::uint64_t bytes,
+                                    const net::CostRates& r) {
+  return sim::transfer_time(static_cast<double>(bytes), r.ser_bw);
+}
+
+/// Time to deserialize `bytes` on one core.
+inline sim::Duration deserialize_time(std::uint64_t bytes,
+                                      const net::CostRates& r) {
+  return sim::transfer_time(static_cast<double>(bytes), r.deser_bw);
+}
+
+/// Time to merge (element-wise combine) `bytes` of aggregator state.
+inline sim::Duration merge_time(std::uint64_t bytes, const net::CostRates& r) {
+  return sim::transfer_time(static_cast<double>(bytes), r.merge_bw);
+}
+
+}  // namespace sparker::ser

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+/// \file channel.hpp
+/// Unbounded MPSC/MPMC message channel between simulated processes.
+///
+/// `send` never blocks. `recv` suspends the calling coroutine until a value
+/// is available. Waiters are woken in FIFO order, and wakeups go through the
+/// simulator's event queue so that same-instant interleavings stay
+/// deterministic.
+
+namespace sparker::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(&sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Delivers a value. If a receiver is waiting, it is scheduled to resume at
+  /// the current simulated time with the value already bound.
+  void send(T value) {
+    if (!waiters_.empty()) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->slot.emplace(std::move(value));
+      sim_->schedule_now(w->h);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  /// Awaitable receive; resolves to the next value in FIFO order.
+  auto recv() { return RecvAwaiter{*this}; }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Number of buffered (undelivered) values.
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// Number of coroutines currently blocked in recv().
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::optional<T> slot;
+  };
+
+  struct RecvAwaiter {
+    Channel& ch;
+    Waiter me{};
+
+    bool await_ready() {
+      if (!ch.items_.empty()) {
+        me.slot.emplace(std::move(ch.items_.front()));
+        ch.items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      me.h = h;
+      ch.waiters_.push_back(&me);
+    }
+    T await_resume() { return std::move(*me.slot); }
+  };
+
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace sparker::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+namespace sparker::sim {
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  // std::priority_queue::top is const; the event must be moved out, so copy
+  // the POD bits and move the callable via const_cast, which is safe because
+  // the element is popped immediately afterwards.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.t;
+  ++processed_;
+  if (ev.h) {
+    ev.h.resume();
+  } else if (ev.fn) {
+    ev.fn();
+  }
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!events_.empty() && events_.top().t <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline && events_.empty()) now_ = deadline;
+  return n;
+}
+
+}  // namespace sparker::sim

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+/// \file simulator.hpp
+/// The deterministic discrete-event simulation kernel.
+///
+/// A Simulator owns a virtual clock and a priority queue of events. Events
+/// are either coroutine resumptions or plain callbacks. Ties in time are
+/// broken by insertion order, which (together with integer time and a seeded
+/// RNG) makes every run bit-reproducible.
+
+namespace sparker::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules a coroutine resumption at absolute time `t` (>= now).
+  void schedule_at(Time t, std::coroutine_handle<> h) {
+    events_.push(Event{clamp_future(t), next_seq_++, h, {}});
+  }
+
+  /// Schedules a coroutine resumption at the current time (runs after all
+  /// already-queued events for this instant).
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Schedules a plain callback at absolute time `t`.
+  void call_at(Time t, std::function<void()> fn) {
+    events_.push(Event{clamp_future(t), next_seq_++, nullptr, std::move(fn)});
+  }
+
+  /// Schedules a plain callback after `d` nanoseconds.
+  void call_after(Duration d, std::function<void()> fn) {
+    call_at(now_ + d, std::move(fn));
+  }
+
+  /// Detaches a task onto the simulator: it starts at the current time and
+  /// owns itself until completion.
+  template <typename T>
+  void spawn(Task<T> task) {
+    auto h = task.release();
+    if (!h) return;
+    h.promise().detached = true;
+    schedule_now(h);
+  }
+
+  /// Detaches a task to start at absolute time `t`.
+  template <typename T>
+  void spawn_at(Time t, Task<T> task) {
+    auto h = task.release();
+    if (!h) return;
+    h.promise().detached = true;
+    schedule_at(t, h);
+  }
+
+  /// Awaitable that suspends the current coroutine for `d` nanoseconds.
+  auto sleep(Duration d) { return SleepAwaiter{*this, now_ + d}; }
+
+  /// Awaitable that suspends until absolute time `t` (no-op if in the past).
+  auto sleep_until(Time t) { return SleepAwaiter{*this, t}; }
+
+  /// Runs until the event queue drains. Returns the number of events run.
+  std::uint64_t run();
+
+  /// Runs until the event queue drains or the clock passes `deadline`.
+  std::uint64_t run_until(Time deadline);
+
+  /// Runs a root task to completion and returns its result. The task must
+  /// complete once the event queue drains; otherwise this aborts (it would
+  /// mean the simulation deadlocked).
+  template <typename T>
+  T run_task(Task<T> root);
+
+  /// True if no events remain.
+  bool idle() const noexcept { return events_.empty(); }
+
+  /// Total number of events processed so far.
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct SleepAwaiter {
+    Simulator& sim;
+    Time wake_at;
+    bool await_ready() const noexcept { return wake_at <= sim.now_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.schedule_at(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    std::function<void()> fn;
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;  // earlier insertion first
+    }
+  };
+
+  Time clamp_future(Time t) const noexcept { return t < now_ ? now_ : t; }
+
+  bool step();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+};
+
+template <typename T>
+T Simulator::run_task(Task<T> root) {
+  std::optional<T> out;
+  bool failed = false;
+  std::exception_ptr error;
+  auto wrapper = [](Simulator&, Task<T> t, std::optional<T>& slot,
+                    bool& fail_flag, std::exception_ptr& err) -> Task<void> {
+    try {
+      slot.emplace(co_await std::move(t));
+    } catch (...) {
+      fail_flag = true;
+      err = std::current_exception();
+    }
+  };
+  spawn(wrapper(*this, std::move(root), out, failed, error));
+  run();
+  if (failed) std::rethrow_exception(error);
+  if (!out.has_value()) {
+    std::fprintf(stderr,
+                 "sparker::sim: run_task root did not complete "
+                 "(simulation deadlock)\n");
+    std::abort();
+  }
+  return std::move(*out);
+}
+
+template <>
+inline void Simulator::run_task<void>(Task<void> root) {
+  bool done = false;
+  std::exception_ptr error;
+  auto wrapper = [](Simulator&, Task<void> t, bool& flag,
+                    std::exception_ptr& err) -> Task<void> {
+    try {
+      co_await std::move(t);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    flag = true;
+  };
+  spawn(wrapper(*this, std::move(root), done, error));
+  run();
+  if (error) std::rethrow_exception(error);
+  if (!done) {
+    std::fprintf(stderr,
+                 "sparker::sim: run_task root did not complete "
+                 "(simulation deadlock)\n");
+    std::abort();
+  }
+}
+
+}  // namespace sparker::sim

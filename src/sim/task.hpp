@@ -1,0 +1,204 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <utility>
+
+/// \file task.hpp
+/// Lazy coroutine task type used by all simulated processes.
+///
+/// A `Task<T>` is a lazily-started coroutine. It is started either by
+/// `co_await`-ing it (the awaiting coroutine becomes its continuation and is
+/// resumed when the task finishes), or by detaching it onto a `Simulator`
+/// (see Simulator::spawn), in which case it owns itself and self-destroys at
+/// completion.
+///
+/// The design follows the standard symmetric-transfer pattern so arbitrarily
+/// deep task chains complete without growing the native stack.
+
+namespace sparker::sim {
+
+namespace detail {
+
+/// Terminates the process when a detached task exits with an exception.
+/// Detached simulated processes have nobody to rethrow to, so an escaping
+/// exception is a programming error in the simulation itself.
+[[noreturn]] inline void die_detached_exception() {
+  std::fprintf(stderr,
+               "sparker::sim: unhandled exception escaped a detached task\n");
+  std::abort();
+}
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    Promise& p = h.promise();
+    if (p.continuation) {
+      return p.continuation;  // symmetric transfer to the awaiter
+    }
+    if (p.detached) {
+      if (p.error) die_detached_exception();
+      h.destroy();
+    }
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr error{};
+  bool detached = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value{};
+
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// True if this handle refers to a coroutine.
+  bool valid() const noexcept { return h_ != nullptr; }
+
+  /// Relinquishes ownership of the coroutine handle (used by spawn()).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(h_, nullptr);
+  }
+
+  /// Raw handle (ownership retained); for starting a long-lived actor whose
+  /// lifetime is managed by its owner rather than detached.
+  std::coroutine_handle<> handle() const noexcept { return h_; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // start the lazy task now
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(h_, nullptr);
+  }
+
+  /// Raw handle (ownership retained); see Task<T>::handle().
+  std::coroutine_handle<> handle() const noexcept { return h_; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace sparker::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Fundamental time types for the deterministic discrete-event simulator.
+///
+/// All simulated time is kept in integer nanoseconds so that event ordering
+/// is exact and runs are bit-reproducible across machines and compilers.
+
+namespace sparker::sim {
+
+/// Simulated time, in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+/// Simulated duration, in nanoseconds.
+using Duration = std::uint64_t;
+
+/// A time value meaning "never" / unset.
+inline constexpr Time kTimeNever = ~Time{0};
+
+inline constexpr Duration nanoseconds(std::uint64_t n) { return n; }
+inline constexpr Duration microseconds(std::uint64_t n) { return n * 1000ull; }
+inline constexpr Duration milliseconds(std::uint64_t n) {
+  return n * 1000ull * 1000ull;
+}
+inline constexpr Duration seconds(std::uint64_t n) {
+  return n * 1000ull * 1000ull * 1000ull;
+}
+
+/// Converts a floating-point second count to a Duration (rounds down).
+inline constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9);
+}
+
+/// Converts a Duration to floating-point seconds (for reporting only).
+inline constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) * 1e-9;
+}
+
+/// Converts a Duration to floating-point milliseconds (for reporting only).
+inline constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) * 1e-6;
+}
+
+/// Converts a Duration to floating-point microseconds (for reporting only).
+inline constexpr double to_micros(Duration d) {
+  return static_cast<double>(d) * 1e-3;
+}
+
+/// Time taken to move `bytes` at `bytes_per_sec`, as an integer Duration.
+/// A zero or negative rate is treated as "instantaneous".
+inline constexpr Duration transfer_time(double bytes, double bytes_per_sec) {
+  if (bytes_per_sec <= 0.0 || bytes <= 0.0) return 0;
+  return static_cast<Duration>(bytes / bytes_per_sec * 1e9);
+}
+
+}  // namespace sparker::sim

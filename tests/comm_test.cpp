@@ -1,0 +1,444 @@
+// Tests for the communicator and the reduction collectives: point-to-point
+// semantics, correctness of every collective against a sequential reference
+// (parameterized across rank counts and parallelism), topology mapping, and
+// timing properties (parallel channels faster, topology-awareness faster).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/communicator.hpp"
+#include "comm/topology.hpp"
+#include "net/cluster.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace sparker::comm {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using sim::Time;
+using Vec = std::vector<std::int64_t>;
+
+// Test harness: a fabric + communicator with every rank on its own host
+// unless a mapping is given.
+struct World {
+  explicit World(int n, int parallelism = 1,
+                 std::vector<int> rank_to_host = {},
+                 net::LinkParams link = {}, net::FabricParams fp = {}) {
+    if (rank_to_host.empty()) {
+      rank_to_host.resize(static_cast<std::size_t>(n));
+      std::iota(rank_to_host.begin(), rank_to_host.end(), 0);
+    }
+    int hosts = 1;
+    for (int h : rank_to_host) hosts = std::max(hosts, h + 1);
+    fp.gc.enabled = false;
+    sim = std::make_unique<Simulator>();
+    fabric = std::make_unique<net::Fabric>(*sim, fp, hosts);
+    c = std::make_unique<Communicator>(*fabric, std::move(rank_to_host), link,
+                                       parallelism);
+  }
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<Communicator> c;
+};
+
+// Per-rank values: rank r contributes [r+1, 2(r+1), ..., len*(r+1)] so the
+// reduced vector at index i is (i+1) * sum_r(r+1), easy to verify and
+// sensitive to duplicated or dropped merges.
+Vec make_value(int rank, int len) {
+  Vec v(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(i + 1) * (rank + 1);
+  }
+  return v;
+}
+
+Vec expected_sum(int n, int len) {
+  std::int64_t ranks = 0;
+  for (int r = 0; r < n; ++r) ranks += r + 1;
+  Vec v(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    v[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(i + 1) * ranks;
+  }
+  return v;
+}
+
+// Segment [seg] of a vector split into nseg near-equal contiguous slices.
+std::pair<int, int> slice_bounds(int len, int seg, int nseg) {
+  const int base = len / nseg;
+  const int rem = len % nseg;
+  const int lo = seg * base + std::min(seg, rem);
+  const int hi = lo + base + (seg < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+SegOps<Vec> vec_ops(const Vec& local, int len) {
+  SegOps<Vec> ops;
+  ops.split = [&local, len](int seg, int nseg) {
+    auto [lo, hi] = slice_bounds(len, seg, nseg);
+    return Vec(local.begin() + lo, local.begin() + hi);
+  };
+  ops.reduce_into = [](Vec& dst, const Vec& src) {
+    ASSERT_EQ(dst.size(), src.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  };
+  ops.bytes = [](const Vec& v) { return v.size() * sizeof(std::int64_t); };
+  ops.concat = [](std::vector<Seg<Vec>>& segs) {
+    Vec out;
+    for (auto& [idx, v] : segs) out.insert(out.end(), v.begin(), v.end());
+    return out;
+  };
+  return ops;
+}
+
+TEST(Communicator, PointToPointDelivers) {
+  World w(2);
+  Message m;
+  m.tag = 7;
+  m.bytes = 1024;
+  m.payload = std::make_shared<int>(99);
+  w.c->post(0, 1, 0, std::move(m));
+  auto recv = [](Communicator& c) -> Task<int> {
+    Message in = co_await c.recv(1, 0, 0);
+    EXPECT_EQ(in.src, 0);
+    EXPECT_EQ(in.tag, 7);
+    co_return *std::static_pointer_cast<int>(in.payload);
+  };
+  EXPECT_EQ(w.sim->run_task(recv(*w.c)), 99);
+}
+
+TEST(Communicator, ChannelsAreIndependentStreams) {
+  World w(2, /*parallelism=*/2);
+  // Big message on channel 0 must not delay a small one on channel 1.
+  Message big;
+  big.bytes = 64ull << 20;
+  w.c->post(0, 1, 0, std::move(big));
+  Message small;
+  small.bytes = 64;
+  w.c->post(0, 1, 1, std::move(small));
+  auto recv_small = [](Communicator& c, Simulator& s) -> Task<Time> {
+    (void)co_await c.recv(1, 0, 1);
+    co_return s.now();
+  };
+  const Time t = w.sim->run_task(recv_small(*w.c, *w.sim));
+  EXPECT_LT(t, sim::milliseconds(1));
+}
+
+TEST(Communicator, InvalidRankThrows) {
+  World w(2);
+  Message m;
+  EXPECT_THROW(w.c->post(0, 5, 0, std::move(m)), std::out_of_range);
+  EXPECT_THROW(w.c->post(-1, 1, 0, Message{}), std::out_of_range);
+}
+
+TEST(Communicator, InvalidChannelThrows) {
+  World w(2, 2);
+  EXPECT_THROW(w.c->post(0, 1, 2, Message{}), std::out_of_range);
+}
+
+TEST(Communicator, RingNeighbours) {
+  World w(4);
+  EXPECT_EQ(w.c->next(3), 0);
+  EXPECT_EQ(w.c->prev(0), 3);
+  EXPECT_EQ(w.c->next(1), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Collective correctness, parameterized over (N, P).
+// ---------------------------------------------------------------------------
+
+class RingRsCorrectness : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(RingRsCorrectness, MatchesSequentialReduce) {
+  const auto [n, p] = GetParam();
+  const int len = 240;  // divisible by many nseg values but not all
+  World w(n, p);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  const Vec want = expected_sum(n, len);
+
+  std::vector<std::vector<Seg<Vec>>> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] =
+        co_await ring_reduce_scatter(*w.c, rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+
+  // Each rank owns P segments; reassemble and compare.
+  std::vector<bool> seen(static_cast<std::size_t>(p * n), false);
+  Vec assembled(static_cast<std::size_t>(len), 0);
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(p));
+    for (auto& [seg, v] : got[static_cast<std::size_t>(r)]) {
+      ASSERT_GE(seg, 0);
+      ASSERT_LT(seg, p * n);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(seg)]);
+      seen[static_cast<std::size_t>(seg)] = true;
+      auto [lo, hi] = slice_bounds(len, seg, p * n);
+      ASSERT_EQ(static_cast<int>(v.size()), hi - lo);
+      for (int i = lo; i < hi; ++i) {
+        assembled[static_cast<std::size_t>(i)] =
+            v[static_cast<std::size_t>(i - lo)];
+      }
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(assembled, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingRsCorrectness,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{3, 1},
+                      std::pair{4, 2}, std::pair{5, 3}, std::pair{6, 4},
+                      std::pair{7, 2}, std::pair{8, 4}, std::pair{12, 4},
+                      std::pair{16, 8}, std::pair{17, 3}));
+
+class HalvingRsCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalvingRsCorrectness, MatchesSequentialReduce) {
+  const int n = GetParam();
+  const int len = 240;
+  World w(n, 1);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  const Vec want = expected_sum(n, len);
+
+  std::vector<std::optional<Seg<Vec>>> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] =
+        co_await halving_reduce_scatter(*w.c, rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+
+  for (int r = 0; r < n; ++r) {
+    ASSERT_TRUE(got[static_cast<std::size_t>(r)].has_value());
+    auto& [seg, v] = *got[static_cast<std::size_t>(r)];
+    EXPECT_EQ(seg, r);  // rank i owns segment i
+    auto [lo, hi] = slice_bounds(len, seg, n);
+    ASSERT_EQ(static_cast<int>(v.size()), hi - lo);
+    for (int i = lo; i < hi; ++i) {
+      EXPECT_EQ(v[static_cast<std::size_t>(i - lo)],
+                want[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HalvingRsCorrectness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13,
+                                           16, 17, 24, 48));
+
+class PairwiseRsCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairwiseRsCorrectness, MatchesSequentialReduce) {
+  const int n = GetParam();
+  const int len = 240;
+  World w(n, 1);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  const Vec want = expected_sum(n, len);
+
+  std::vector<std::optional<Seg<Vec>>> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] =
+        co_await pairwise_reduce_scatter(*w.c, rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+
+  for (int r = 0; r < n; ++r) {
+    ASSERT_TRUE(got[static_cast<std::size_t>(r)].has_value());
+    auto& [seg, v] = *got[static_cast<std::size_t>(r)];
+    EXPECT_EQ(seg, r);
+    auto [lo, hi] = slice_bounds(len, seg, n);
+    ASSERT_EQ(static_cast<int>(v.size()), hi - lo);
+    for (int i = lo; i < hi; ++i) {
+      EXPECT_EQ(v[static_cast<std::size_t>(i - lo)],
+                want[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PairwiseRsCorrectness,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 24));
+
+class TreeReduceCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeReduceCorrectness, RootGetsSum) {
+  const int n = GetParam();
+  const int len = 64;
+  World w(n, 1);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+
+  std::vector<std::optional<Vec>> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] = co_await binomial_reduce(
+        *w.c, rank, Vec(locals[static_cast<std::size_t>(rank)]), ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+
+  for (int r = 0; r < n; ++r) {
+    if (r == 0) {
+      ASSERT_TRUE(got[0].has_value());
+      EXPECT_EQ(*got[0], expected_sum(n, len));
+    } else {
+      EXPECT_FALSE(got[static_cast<std::size_t>(r)].has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeReduceCorrectness,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 11, 16, 48));
+
+class AllreduceCorrectness
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AllreduceCorrectness, EveryRankGetsFullSum) {
+  const auto [n, p] = GetParam();
+  const int len = 120;
+  World w(n, p);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  const Vec want = expected_sum(n, len);
+
+  std::vector<Vec> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] =
+        co_await rabenseifner_allreduce(*w.c, rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], want) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllreduceCorrectness,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
+                                           std::pair{3, 1}, std::pair{5, 2},
+                                           std::pair{8, 4}, std::pair{12, 3}));
+
+// ---------------------------------------------------------------------------
+// Timing properties.
+// ---------------------------------------------------------------------------
+
+Time time_ring_rs(int n, int p, const std::vector<int>& rank_to_host,
+                  std::uint64_t modeled_bytes) {
+  net::ClusterSpec spec = net::ClusterSpec::bic();
+  net::FabricParams fp = spec.fabric;
+  fp.gc.enabled = false;
+  World w(n, p, rank_to_host, spec.sc_link, fp);
+  const int len = 256;  // real elements, scaled
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    const double scale =
+        static_cast<double>(modeled_bytes) / (len * sizeof(std::int64_t));
+    ops.bytes = [scale](const Vec& v) {
+      return static_cast<std::uint64_t>(
+          static_cast<double>(v.size() * sizeof(std::int64_t)) * scale);
+    };
+    (void)co_await ring_reduce_scatter(*w.c, rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+  return w.sim->now();
+}
+
+TEST(CollectiveTiming, MoreParallelChannelsAreFasterForLargeMessages) {
+  // 12 executors on 2 hosts, 64 MB aggregators.
+  auto execs = enumerate_executors(2, 6);
+  auto hostmap = rank_map_by_hostname(execs);
+  const Time t1 = time_ring_rs(12, 1, hostmap, 64ull << 20);
+  const Time t4 = time_ring_rs(12, 4, hostmap, 64ull << 20);
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(static_cast<double>(t1) / static_cast<double>(t4), 2.0);
+}
+
+TEST(CollectiveTiming, TopologyAwareOrderingIsFaster) {
+  auto execs = enumerate_executors(4, 6);
+  auto aware = rank_map_by_hostname(execs);
+  auto naive = rank_map_by_executor_id(execs);
+  const Time t_aware = time_ring_rs(24, 4, aware, 64ull << 20);
+  const Time t_naive = time_ring_rs(24, 4, naive, 64ull << 20);
+  EXPECT_LT(t_aware, t_naive);
+  EXPECT_GT(static_cast<double>(t_naive) / static_cast<double>(t_aware), 1.5);
+}
+
+TEST(CollectiveTiming, RingBeatsTreeForLargeMessages) {
+  // The motivating comparison: ring reduce-scatter vs binomial tree on
+  // whole aggregators, 8 executors on 8 hosts, 64 MB.
+  net::ClusterSpec spec = net::ClusterSpec::bic();
+  net::FabricParams fp = spec.fabric;
+  fp.gc.enabled = false;
+  const int n = 8;
+  const int len = 256;
+  const double scale =
+      static_cast<double>(64ull << 20) / (len * sizeof(std::int64_t));
+
+  auto run = [&](bool ring) {
+    World w(n, ring ? 4 : 1, {}, spec.sc_link, fp);
+    std::vector<Vec> locals;
+    for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+    auto body = [&](int rank) -> Task<void> {
+      auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+      ops.bytes = [scale](const Vec& v) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(v.size() * sizeof(std::int64_t)) * scale);
+      };
+      if (ring) {
+        (void)co_await ring_reduce_scatter(*w.c, rank, ops);
+      } else {
+        (void)co_await binomial_reduce(
+            *w.c, rank, Vec(locals[static_cast<std::size_t>(rank)]), ops);
+      }
+    };
+    w.sim->run_task(run_all_ranks(*w.c, body));
+    return w.sim->now();
+  };
+  const Time t_ring = run(true);
+  const Time t_tree = run(false);
+  EXPECT_LT(t_ring, t_tree);
+  EXPECT_GT(static_cast<double>(t_tree) / static_cast<double>(t_ring), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Topology helpers.
+// ---------------------------------------------------------------------------
+
+TEST(Topology, EnumerationInterleavesHosts) {
+  auto execs = enumerate_executors(3, 2);
+  ASSERT_EQ(execs.size(), 6u);
+  EXPECT_EQ(execs[0].host, 0);
+  EXPECT_EQ(execs[1].host, 1);
+  EXPECT_EQ(execs[2].host, 2);
+  EXPECT_EQ(execs[3].host, 0);
+}
+
+TEST(Topology, HostnameSortGroupsNodes) {
+  auto execs = enumerate_executors(4, 6);
+  auto aware = rank_map_by_hostname(execs);
+  auto naive = rank_map_by_executor_id(execs);
+  EXPECT_EQ(count_inter_host_ring_edges(aware), 4);
+  EXPECT_EQ(count_inter_host_ring_edges(naive), 24);
+}
+
+TEST(Topology, SingleHostHasNoCrossings) {
+  auto execs = enumerate_executors(1, 6);
+  EXPECT_EQ(count_inter_host_ring_edges(rank_map_by_hostname(execs)), 0);
+}
+
+}  // namespace
+}  // namespace sparker::comm

@@ -1,0 +1,186 @@
+// Tests for dataset presets, synthetic generators (determinism, statistics,
+// learnability of the planted signal) and libsvm parsing/round-trip.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generators.hpp"
+#include "data/libsvm.hpp"
+#include "data/presets.hpp"
+
+namespace sparker::data {
+namespace {
+
+TEST(Presets, TableTwoShapes) {
+  EXPECT_EQ(avazu().samples, 45'006'431);
+  EXPECT_EQ(avazu().features, 1'000'000);
+  EXPECT_EQ(criteo().samples, 51'882'752);
+  EXPECT_EQ(kdd10().features, 20'216'830);
+  EXPECT_EQ(kdd12().samples, 149'639'105);
+  EXPECT_EQ(kdd12().features, 54'686'452);
+  EXPECT_EQ(enron().samples, 39'861);
+  EXPECT_EQ(enron().features, 28'102);
+  EXPECT_EQ(nytimes().samples, 300'000);
+  EXPECT_EQ(nytimes().features, 102'660);
+  EXPECT_EQ(all_presets().size(), 6u);
+}
+
+TEST(Presets, TaskKinds) {
+  EXPECT_EQ(avazu().task, TaskKind::kClassification);
+  EXPECT_EQ(kdd12().task, TaskKind::kClassification);
+  EXPECT_EQ(enron().task, TaskKind::kTopicModel);
+  EXPECT_EQ(nytimes().task, TaskKind::kTopicModel);
+}
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(&preset_by_name("kdd10"), &kdd10());
+  EXPECT_THROW(preset_by_name("imagenet"), std::invalid_argument);
+}
+
+TEST(Presets, ScaleFactorsAreLarge) {
+  // The byte-scale substitution only makes sense if modeled >> real.
+  for (const auto* p : all_presets()) {
+    EXPECT_GT(p->feature_scale(), 10.0) << p->name;
+    EXPECT_GT(p->real_features, 0) << p->name;
+    EXPECT_GT(p->real_samples, 0) << p->name;
+  }
+}
+
+TEST(Generators, ClassificationIsDeterministic) {
+  const auto& p = avazu();
+  const auto model = make_planted_model(p, 7);
+  auto a = generate_classification_partition(p, model, 3, 50, 7);
+  auto b = generate_classification_partition(p, model, 3, 50, 7);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].features.indices, b[i].features.indices);
+    EXPECT_EQ(a[i].features.values, b[i].features.values);
+  }
+}
+
+TEST(Generators, PartitionsDiffer) {
+  const auto& p = avazu();
+  const auto model = make_planted_model(p, 7);
+  auto a = generate_classification_partition(p, model, 0, 10, 7);
+  auto b = generate_classification_partition(p, model, 1, 10, 7);
+  EXPECT_NE(a[0].features.indices, b[0].features.indices);
+}
+
+TEST(Generators, RowsHaveExpectedShape) {
+  const auto& p = criteo();
+  const auto model = make_planted_model(p, 11);
+  auto rows = generate_classification_partition(p, model, 0, 200, 11);
+  int positives = 0;
+  for (const auto& r : rows) {
+    EXPECT_EQ(static_cast<int>(r.features.nnz()), p.real_nnz);
+    EXPECT_TRUE(std::is_sorted(r.features.indices.begin(),
+                               r.features.indices.end()));
+    for (auto idx : r.features.indices) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, p.real_features);
+    }
+    positives += r.label > 0.5;
+  }
+  // Labels from a symmetric planted model: roughly balanced.
+  EXPECT_GT(positives, 50);
+  EXPECT_LT(positives, 150);
+}
+
+TEST(Generators, PlantedSignalIsLearnable) {
+  // The planted weights themselves must classify the data well (upper bound
+  // for any learner, sanity for convergence tests).
+  const auto& p = avazu();
+  const auto model = make_planted_model(p, 3);
+  auto rows = generate_classification_partition(p, model, 0, 500, 3);
+  int correct = 0;
+  for (const auto& r : rows) {
+    const double margin = ml::dot(model.weights, r.features);
+    correct += ((margin > 0) == (r.label > 0.5));
+  }
+  EXPECT_GT(correct, 440);  // ~95% minus noise
+}
+
+TEST(Generators, CorpusIsDeterministicAndShaped) {
+  const auto& p = nytimes();
+  const auto topics = make_planted_topics(p, 10, 5);
+  auto a = generate_corpus_partition(p, topics, 2, 30, 5);
+  auto b = generate_corpus_partition(p, topics, 2, 30, 5);
+  ASSERT_EQ(a.size(), 30u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].word_ids, b[i].word_ids);
+    EXPECT_EQ(a[i].counts, b[i].counts);
+    EXPECT_EQ(a[i].total_tokens(), p.real_nnz * 3);
+    for (auto w : a[i].word_ids) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(w, p.real_features);
+    }
+  }
+}
+
+TEST(Generators, TopicsAreNormalized) {
+  const auto topics = make_planted_topics(enron(), 8, 13);
+  ASSERT_EQ(topics.topic_word.size(), 8u);
+  for (const auto& dist : topics.topic_word) {
+    double sum = 0.0;
+    for (double x : dist) {
+      EXPECT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Libsvm, ParsesBasicLine) {
+  ml::LabeledPoint p;
+  ASSERT_TRUE(parse_libsvm_line("+1 3:0.5 7:-1.25 10:2", p));
+  EXPECT_EQ(p.label, 1.0);
+  ASSERT_EQ(p.features.nnz(), 3u);
+  EXPECT_EQ(p.features.indices[0], 2);  // 1-based -> 0-based
+  EXPECT_DOUBLE_EQ(p.features.values[1], -1.25);
+  EXPECT_EQ(p.features.dim, 10);
+}
+
+TEST(Libsvm, SkipsBlankAndComments) {
+  ml::LabeledPoint p;
+  EXPECT_FALSE(parse_libsvm_line("", p));
+  EXPECT_FALSE(parse_libsvm_line("   ", p));
+  EXPECT_FALSE(parse_libsvm_line("# comment", p));
+}
+
+TEST(Libsvm, RejectsMalformed) {
+  ml::LabeledPoint p;
+  EXPECT_THROW(parse_libsvm_line("1 3:abc", p), std::runtime_error);
+  EXPECT_THROW(parse_libsvm_line("1 0:1.0", p), std::runtime_error);
+  EXPECT_THROW(parse_libsvm_line("1 noval", p), std::runtime_error);
+}
+
+TEST(Libsvm, SortsUnorderedIndices) {
+  ml::LabeledPoint p;
+  ASSERT_TRUE(parse_libsvm_line("-1 9:1 2:2 5:3", p));
+  EXPECT_EQ(p.features.indices, (std::vector<std::int32_t>{1, 4, 8}));
+  EXPECT_EQ(p.features.values, (std::vector<double>{2, 3, 1}));
+  EXPECT_EQ(p.label, 0.0);
+}
+
+TEST(Libsvm, RoundTrip) {
+  const auto& preset = avazu();
+  const auto model = make_planted_model(preset, 21);
+  auto rows = generate_classification_partition(preset, model, 0, 40, 21);
+  std::stringstream ss;
+  write_libsvm(ss, rows);
+  auto back = read_libsvm(ss, preset.real_features);
+  ASSERT_EQ(back.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(back[i].label, rows[i].label);
+    EXPECT_EQ(back[i].features.indices, rows[i].features.indices);
+    for (std::size_t k = 0; k < rows[i].features.values.size(); ++k) {
+      EXPECT_NEAR(back[i].features.values[k], rows[i].features.values[k],
+                  1e-6 * std::abs(rows[i].features.values[k]) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparker::data

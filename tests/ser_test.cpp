@@ -1,0 +1,140 @@
+// Tests for the serialization substrate: primitive round-trips, varints,
+// vectors/strings, underrun safety, the Serializable concept and the cost
+// model.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "ser/byte_buffer.hpp"
+#include "ser/codec.hpp"
+
+namespace sparker::ser {
+namespace {
+
+TEST(ByteBuffer, PodRoundTrip) {
+  ByteBuffer b;
+  b.write<std::int32_t>(-7);
+  b.write<double>(3.25);
+  b.write<std::uint8_t>(255);
+  EXPECT_EQ(b.read<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(b.read<double>(), 3.25);
+  EXPECT_EQ(b.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(ByteBuffer, VarintBoundaries) {
+  ByteBuffer b;
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (auto v : values) b.write_varint(v);
+  for (auto v : values) EXPECT_EQ(b.read_varint(), v);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(ByteBuffer, VarintIsCompact) {
+  ByteBuffer b;
+  b.write_varint(5);
+  EXPECT_EQ(b.size(), 1u);
+  b.clear();
+  b.write_varint(300);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(ByteBuffer, VectorAndStringRoundTrip) {
+  ByteBuffer b;
+  const std::vector<double> v{1.5, -2.5, 1e300};
+  const std::string s = "hello \0 world";
+  b.write_vector(v);
+  b.write_string(s);
+  EXPECT_EQ(b.read_vector<double>(), v);
+  EXPECT_EQ(b.read_string(), s);
+}
+
+TEST(ByteBuffer, EmptyVector) {
+  ByteBuffer b;
+  b.write_vector(std::vector<std::int64_t>{});
+  EXPECT_TRUE(b.read_vector<std::int64_t>().empty());
+}
+
+TEST(ByteBuffer, UnderrunThrows) {
+  ByteBuffer b;
+  b.write<std::int32_t>(1);
+  (void)b.read<std::int32_t>();
+  EXPECT_THROW(b.read<std::int32_t>(), std::runtime_error);
+}
+
+TEST(ByteBuffer, TruncatedVectorThrows) {
+  ByteBuffer b;
+  b.write_varint(1000);  // claims 1000 elements, provides none
+  EXPECT_THROW(b.read_vector<double>(), std::runtime_error);
+}
+
+TEST(ByteBuffer, MalformedVarintThrows) {
+  std::vector<std::uint8_t> raw(11, 0x80);  // never-terminating varint
+  ByteBuffer b(std::move(raw));
+  EXPECT_THROW(b.read_varint(), std::runtime_error);
+}
+
+TEST(ByteBuffer, RewindRereads) {
+  ByteBuffer b;
+  b.write<int>(42);
+  EXPECT_EQ(b.read<int>(), 42);
+  b.rewind();
+  EXPECT_EQ(b.read<int>(), 42);
+}
+
+// A Serializable aggregate mirroring the engine's task results.
+struct Sample {
+  std::vector<double> grad;
+  double loss = 0;
+
+  void serialize(ByteBuffer& b) const {
+    b.write_vector(grad);
+    b.write(loss);
+  }
+  static Sample deserialize(ByteBuffer& b) {
+    Sample s;
+    s.grad = b.read_vector<double>();
+    s.loss = b.read<double>();
+    return s;
+  }
+  std::uint64_t serialized_bytes() const {
+    return grad.size() * sizeof(double) + sizeof(double);
+  }
+};
+static_assert(Serializable<Sample>);
+
+TEST(Codec, ConceptAndRoundTrip) {
+  Sample s;
+  s.grad = {1.0, 2.0, 3.0};
+  s.loss = 0.5;
+  Sample back = roundtrip(s);
+  EXPECT_EQ(back.grad, s.grad);
+  EXPECT_DOUBLE_EQ(back.loss, s.loss);
+}
+
+TEST(Codec, CostModel) {
+  net::CostRates r;
+  r.ser_bw = 1e9;
+  r.deser_bw = 2e9;
+  r.merge_bw = 4e9;
+  EXPECT_EQ(serialize_time(1'000'000'000ull, r), sim::seconds(1));
+  EXPECT_EQ(deserialize_time(1'000'000'000ull, r), sim::seconds(1) / 2);
+  EXPECT_EQ(merge_time(2'000'000'000ull, r), sim::seconds(1) / 2);
+  EXPECT_EQ(serialize_time(0, r), 0u);
+}
+
+}  // namespace
+}  // namespace sparker::ser
