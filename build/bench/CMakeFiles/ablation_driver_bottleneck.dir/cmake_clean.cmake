@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_driver_bottleneck.dir/ablation_driver_bottleneck.cpp.o"
+  "CMakeFiles/ablation_driver_bottleneck.dir/ablation_driver_bottleneck.cpp.o.d"
+  "ablation_driver_bottleneck"
+  "ablation_driver_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_driver_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

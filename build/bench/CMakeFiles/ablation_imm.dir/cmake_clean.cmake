@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_imm.dir/ablation_imm.cpp.o"
+  "CMakeFiles/ablation_imm.dir/ablation_imm.cpp.o.d"
+  "ablation_imm"
+  "ablation_imm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

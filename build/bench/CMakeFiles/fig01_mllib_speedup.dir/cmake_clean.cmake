@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_mllib_speedup.dir/fig01_mllib_speedup.cpp.o"
+  "CMakeFiles/fig01_mllib_speedup.dir/fig01_mllib_speedup.cpp.o.d"
+  "fig01_mllib_speedup"
+  "fig01_mllib_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_mllib_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lda_scaling_bic.dir/fig03_lda_scaling_bic.cpp.o"
+  "CMakeFiles/fig03_lda_scaling_bic.dir/fig03_lda_scaling_bic.cpp.o.d"
+  "fig03_lda_scaling_bic"
+  "fig03_lda_scaling_bic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lda_scaling_bic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_lda_scaling_bic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_lda_scaling_aws.dir/fig04_lda_scaling_aws.cpp.o"
+  "CMakeFiles/fig04_lda_scaling_aws.dir/fig04_lda_scaling_aws.cpp.o.d"
+  "fig04_lda_scaling_aws"
+  "fig04_lda_scaling_aws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_lda_scaling_aws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_aggregation.dir/fig16_aggregation.cpp.o"
+  "CMakeFiles/fig16_aggregation.dir/fig16_aggregation.cpp.o.d"
+  "fig16_aggregation"
+  "fig16_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_sparker_scaling.cpp" "bench/CMakeFiles/fig18_sparker_scaling.dir/fig18_sparker_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig18_sparker_scaling.dir/fig18_sparker_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/sparker_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sparker_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sparker_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sparker_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/sparker_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sparker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sparker_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sparker_scaling.dir/fig18_sparker_scaling.cpp.o"
+  "CMakeFiles/fig18_sparker_scaling.dir/fig18_sparker_scaling.cpp.o.d"
+  "fig18_sparker_scaling"
+  "fig18_sparker_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sparker_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

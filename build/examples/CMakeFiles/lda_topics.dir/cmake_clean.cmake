@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lda_topics.dir/lda_topics.cpp.o"
+  "CMakeFiles/lda_topics.dir/lda_topics.cpp.o.d"
+  "lda_topics"
+  "lda_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lda_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_scatter_playground.dir/reduce_scatter_playground.cpp.o"
+  "CMakeFiles/reduce_scatter_playground.dir/reduce_scatter_playground.cpp.o.d"
+  "reduce_scatter_playground"
+  "reduce_scatter_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_scatter_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

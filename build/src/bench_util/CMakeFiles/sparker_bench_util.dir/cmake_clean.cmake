@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_bench_util.dir/runners.cpp.o"
+  "CMakeFiles/sparker_bench_util.dir/runners.cpp.o.d"
+  "libsparker_bench_util.a"
+  "libsparker_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

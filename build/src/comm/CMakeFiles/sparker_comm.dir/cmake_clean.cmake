@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_comm.dir/topology.cpp.o"
+  "CMakeFiles/sparker_comm.dir/topology.cpp.o.d"
+  "libsparker_comm.a"
+  "libsparker_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_data.dir/generators.cpp.o"
+  "CMakeFiles/sparker_data.dir/generators.cpp.o.d"
+  "CMakeFiles/sparker_data.dir/libsvm.cpp.o"
+  "CMakeFiles/sparker_data.dir/libsvm.cpp.o.d"
+  "CMakeFiles/sparker_data.dir/presets.cpp.o"
+  "CMakeFiles/sparker_data.dir/presets.cpp.o.d"
+  "libsparker_data.a"
+  "libsparker_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_engine.dir/cluster.cpp.o"
+  "CMakeFiles/sparker_engine.dir/cluster.cpp.o.d"
+  "libsparker_engine.a"
+  "libsparker_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_ml.dir/workload.cpp.o"
+  "CMakeFiles/sparker_ml.dir/workload.cpp.o.d"
+  "libsparker_ml.a"
+  "libsparker_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_net.dir/cluster.cpp.o"
+  "CMakeFiles/sparker_net.dir/cluster.cpp.o.d"
+  "libsparker_net.a"
+  "libsparker_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsparker_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparker_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sparker_sim.dir/simulator.cpp.o.d"
+  "libsparker_sim.a"
+  "libsparker_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparker_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ser_test.dir/ser_test.cpp.o"
+  "CMakeFiles/ser_test.dir/ser_test.cpp.o.d"
+  "ser_test"
+  "ser_test.pdb"
+  "ser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
