@@ -1,0 +1,206 @@
+// Ablation: cost of fault recovery under the stage-level retry protocol.
+// A split aggregation with a large modeled aggregator runs fault-free to
+// establish the baseline and the ring-stage window, then the same job is
+// replayed under several deterministic fault schedules placed inside that
+// window: an executor killed mid-ring (lost partials refolded onto the
+// survivors, ring re-run on the smaller topology), a transient link
+// severance that heals before the retry (same topology, one wasted
+// attempt), an executor killed during the compute stage (IMM whole-stage
+// restart, ring unaffected), and a persistent per-message channel delay
+// (slow but never failing). Reported: end-to-end time, ring attempts,
+// simulated time lost to recovery, and overhead vs fault-free.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/table.hpp"
+#include "engine/aggregate.hpp"
+#include "engine/cluster.hpp"
+#include "engine/config.hpp"
+#include "engine/rdd.hpp"
+#include "net/cluster.hpp"
+#include "sim/simulator.hpp"
+
+using namespace sparker;
+using Vec = std::vector<std::int64_t>;
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kParts = 16;
+constexpr int kDim = 64;
+// Each of the kDim int64 elements models 8192x its real wire size: a
+// ~4 MiB aggregator, so the ring stage spans enough simulated time to be
+// hit mid-flight.
+constexpr std::uint64_t kScale = 8192;
+
+engine::SplitAggSpec<std::int64_t, Vec, Vec> split_spec() {
+  engine::SplitAggSpec<std::int64_t, Vec, Vec> spec;
+  spec.base.zero = Vec(kDim, 0);
+  spec.base.seq_op = [](Vec& u, const std::int64_t& row) {
+    for (int i = 0; i < kDim; ++i) u[static_cast<std::size_t>(i)] += row + i;
+  };
+  spec.base.comb_op = [](Vec& a, const Vec& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  };
+  spec.base.bytes = [](const Vec& v) {
+    return static_cast<std::uint64_t>(v.size() * sizeof(std::int64_t)) *
+           kScale;
+  };
+  spec.base.partition_cost = [](int, const std::vector<std::int64_t>& rows) {
+    return sim::milliseconds(rows.size());
+  };
+  spec.split_op = [](const Vec& u, int seg, int nseg) {
+    const int len = static_cast<int>(u.size());
+    const int base = len / nseg, rem = len % nseg;
+    const int lo = seg * base + std::min(seg, rem);
+    const int hi = lo + base + (seg < rem ? 1 : 0);
+    return Vec(u.begin() + lo, u.begin() + hi);
+  };
+  spec.reduce_op = [](Vec& a, const Vec& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  };
+  spec.concat_op = [](std::vector<std::pair<int, Vec>>& segs) {
+    Vec out;
+    for (auto& [idx, v] : segs) out.insert(out.end(), v.begin(), v.end());
+    return out;
+  };
+  spec.v_bytes = spec.base.bytes;
+  return spec;
+}
+
+struct Run {
+  bool failed = false;
+  Vec value;
+  engine::AggStats stats;
+};
+
+Run run_with(const engine::FaultSchedule& schedule) {
+  engine::EngineConfig cfg;
+  cfg.agg_mode = engine::AggMode::kSplit;
+  cfg.sai_parallelism = 2;
+  cfg.collective_timeout = sim::seconds(2);
+  cfg.stage_retry_backoff = sim::milliseconds(50);
+  cfg.fault_schedule = schedule;
+  sim::Simulator simulator;
+  net::ClusterSpec spec = net::ClusterSpec::bic(kNodes);
+  spec.fabric.gc.enabled = false;
+  engine::Cluster cluster(simulator, spec, cfg);
+  engine::CachedRdd<std::int64_t> rdd(kParts, cluster.num_executors(),
+                                      [](int pid) {
+                                        Vec rows(8);
+                                        for (int i = 0; i < 8; ++i) {
+                                          rows[static_cast<std::size_t>(i)] =
+                                              pid * 100 + i;
+                                        }
+                                        return rows;
+                                      });
+  auto spec_agg = split_spec();
+  Run out;
+  auto job = [&]() -> sim::Task<Vec> {
+    co_return co_await engine::split_aggregate(cluster, rdd, spec_agg,
+                                               &out.stats);
+  };
+  try {
+    out.value = simulator.run_task(job());
+  } catch (const std::exception&) {
+    out.failed = true;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Ablation: fault recovery",
+      "Split aggregation (BIC 4 nodes, ~4 MiB modeled aggregator) under "
+      "deterministic fault schedules; stage-level retry");
+
+  const Run clean = run_with({});
+  if (clean.failed) {
+    std::printf("baseline run failed; aborting\n");
+    return 1;
+  }
+  // Executor ids are assigned round-robin across hosts while ring ranks are
+  // hostname-sorted, so numerically adjacent executor ids are usually NOT
+  // ring neighbours. Resolve a real ring edge (rank 1 -> rank 2) from a
+  // probe cluster so the sever/delay schedules hit live ring traffic.
+  int edge_src = 1, edge_dst = 2;
+  {
+    sim::Simulator probe_sim;
+    net::ClusterSpec probe_spec = net::ClusterSpec::bic(kNodes);
+    probe_spec.fabric.gc.enabled = false;
+    engine::Cluster probe(probe_sim, probe_spec, engine::EngineConfig{});
+    edge_src = probe.executor_of_rank(1);
+    edge_dst = probe.executor_of_rank(2);
+  }
+
+  const sim::Time ring_lo = clean.stats.compute_done;
+  const sim::Time ring_hi = clean.stats.end;
+  const double base_s = sim::to_seconds(clean.stats.end - clean.stats.start);
+  auto ring_at = [&](int pct) {
+    return ring_lo + (ring_hi - ring_lo) * static_cast<sim::Time>(pct) / 100;
+  };
+
+  struct Case {
+    const char* label;
+    engine::FaultSchedule schedule;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fault-free", {}});
+  {
+    engine::FaultSchedule s;
+    s.kill_executor(ring_at(50), /*executor=*/2);
+    cases.push_back({"kill executor mid-ring", s});
+  }
+  {
+    engine::FaultSchedule s;
+    s.sever_channel(ring_at(40), edge_src, edge_dst, /*channel=*/-1,
+                    /*heal_after=*/sim::seconds(3));
+    cases.push_back({"transient sever (heals)", s});
+  }
+  {
+    engine::FaultSchedule s;
+    s.kill_executor(clean.stats.compute_done > sim::milliseconds(3)
+                        ? clean.stats.compute_done - sim::milliseconds(3)
+                        : sim::Time{0},
+                    /*executor=*/3);
+    cases.push_back({"kill executor in compute", s});
+  }
+  {
+    engine::FaultSchedule s;
+    s.delay_channel(/*at=*/0, edge_src, edge_dst, /*channel=*/-1,
+                    /*delay=*/sim::milliseconds(5));
+    cases.push_back({"5 ms channel delay", s});
+  }
+
+  bench::Table t({"schedule", "total (s)", "ring attempts", "stage restarts",
+                  "recovery (s)", "overhead"});
+  for (const auto& c : cases) {
+    const Run r = run_with(c.schedule);
+    if (r.failed) {
+      t.add_row({c.label, "failed", "-", "-", "-", "-"});
+      continue;
+    }
+    if (r.value != clean.value) {
+      std::printf("BUG: schedule '%s' changed the result\n", c.label);
+      return 1;
+    }
+    const double total_s = sim::to_seconds(r.stats.end - r.stats.start);
+    t.add_row({c.label, bench::fmt(total_s, 3),
+               std::to_string(r.stats.ring_stage_attempts),
+               std::to_string(r.stats.stage_restarts),
+               bench::fmt(sim::to_seconds(r.stats.recovery_time), 3),
+               bench::fmt_times(total_s / base_s, 2)});
+  }
+  t.print();
+
+  std::printf(
+      "\nEvery faulted run returns the bit-identical fault-free value; the "
+      "overhead column is the price of detection (collective timeout), "
+      "refolding lost partials, and re-running the ring stage on the "
+      "surviving topology (paper Section 3.2's stage-level retry).\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -61,29 +62,37 @@ sim::Duration merge_cost(const SegOps<V>& ops, std::uint64_t bytes) {
 template <typename V>
 sim::Task<void> ring_rs_worker(Communicator& c, int rank, int t,
                                const SegOps<V>& ops, int nseg_total,
-                               Seg<V>& out, sim::WaitGroup& wg) {
-  const int n = c.size();
-  std::vector<V> cur;
-  cur.reserve(static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) {
-    cur.push_back(ops.split(t * n + j, nseg_total));
+                               Seg<V>& out, sim::WaitGroup& wg,
+                               std::exception_ptr& error) {
+  // Workers run detached, so an escaped exception would abort the process
+  // (sim::Task policy). Capture it instead and let the spawner rethrow
+  // after the WaitGroup resolves.
+  try {
+    const int n = c.size();
+    std::vector<V> cur;
+    cur.reserve(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      cur.push_back(ops.split(t * n + j, nseg_total));
+    }
+    for (int k = 0; k + 1 < n; ++k) {
+      const int send_idx = ((rank - k) % n + n) % n;
+      const int recv_idx = ((rank - k - 1) % n + n) % n;
+      Message m;
+      m.tag = k;
+      m.bytes = ops.bytes(cur[static_cast<std::size_t>(send_idx)]);
+      m.payload = std::make_shared<V>(
+          std::move(cur[static_cast<std::size_t>(send_idx)]));
+      c.post(rank, c.next(rank), t, std::move(m));
+      Message in = co_await c.recv(rank, c.prev(rank), t);
+      const V& incoming = *std::static_pointer_cast<V>(in.payload);
+      co_await c.simulator().sleep(merge_cost(ops, in.bytes));
+      ops.reduce_into(cur[static_cast<std::size_t>(recv_idx)], incoming);
+    }
+    const int own = (rank + 1) % n;
+    out = {t * n + own, std::move(cur[static_cast<std::size_t>(own)])};
+  } catch (...) {
+    if (!error) error = std::current_exception();
   }
-  for (int k = 0; k + 1 < n; ++k) {
-    const int send_idx = ((rank - k) % n + n) % n;
-    const int recv_idx = ((rank - k - 1) % n + n) % n;
-    Message m;
-    m.tag = k;
-    m.bytes = ops.bytes(cur[static_cast<std::size_t>(send_idx)]);
-    m.payload =
-        std::make_shared<V>(std::move(cur[static_cast<std::size_t>(send_idx)]));
-    c.post(rank, c.next(rank), t, std::move(m));
-    Message in = co_await c.recv(rank, c.prev(rank), t);
-    const V& incoming = *std::static_pointer_cast<V>(in.payload);
-    co_await c.simulator().sleep(merge_cost(ops, in.bytes));
-    ops.reduce_into(cur[static_cast<std::size_t>(recv_idx)], incoming);
-  }
-  const int own = (rank + 1) % n;
-  out = {t * n + own, std::move(cur[static_cast<std::size_t>(own)])};
   wg.done();
 }
 
@@ -108,11 +117,14 @@ sim::Task<std::vector<Seg<V>>> ring_reduce_scatter(Communicator& c, int rank,
   }
   sim::WaitGroup wg(c.simulator());
   wg.add(p);
+  std::exception_ptr error;
   for (int t = 0; t < p; ++t) {
     c.simulator().spawn(detail::ring_rs_worker<V>(
-        c, rank, t, ops, p * n, results[static_cast<std::size_t>(t)], wg));
+        c, rank, t, ops, p * n, results[static_cast<std::size_t>(t)], wg,
+        error));
   }
   co_await wg.wait();
+  if (error) std::rethrow_exception(error);
   co_return results;
 }
 
@@ -121,27 +133,32 @@ namespace detail {
 template <typename V>
 sim::Task<void> ring_ag_worker(Communicator& c, int rank, int t,
                                const SegOps<V>& ops, Seg<V> own,
-                               std::vector<Seg<V>>& out, sim::WaitGroup& wg) {
-  const int n = c.size();
-  // local index within this thread's slice
-  std::vector<std::optional<V>> have(static_cast<std::size_t>(n));
-  const int own_local = own.first - t * n;
-  have[static_cast<std::size_t>(own_local)] = std::move(own.second);
-  for (int k = 0; k + 1 < n; ++k) {
-    const int send_local = ((rank + 1 - k) % n + n) % n;
-    const int recv_local = ((rank - k) % n + n) % n;
-    const V& v = *have[static_cast<std::size_t>(send_local)];
-    Message m;
-    m.tag = k;
-    m.bytes = ops.bytes(v);
-    m.payload = std::make_shared<V>(v);  // copy: we keep our own
-    c.post(rank, c.next(rank), t, std::move(m));
-    Message in = co_await c.recv(rank, c.prev(rank), t);
-    have[static_cast<std::size_t>(recv_local)] =
-        std::move(*std::static_pointer_cast<V>(in.payload));
-  }
-  for (int j = 0; j < n; ++j) {
-    out.push_back({t * n + j, std::move(*have[static_cast<std::size_t>(j)])});
+                               std::vector<Seg<V>>& out, sim::WaitGroup& wg,
+                               std::exception_ptr& error) {
+  try {
+    const int n = c.size();
+    // local index within this thread's slice
+    std::vector<std::optional<V>> have(static_cast<std::size_t>(n));
+    const int own_local = own.first - t * n;
+    have[static_cast<std::size_t>(own_local)] = std::move(own.second);
+    for (int k = 0; k + 1 < n; ++k) {
+      const int send_local = ((rank + 1 - k) % n + n) % n;
+      const int recv_local = ((rank - k) % n + n) % n;
+      const V& v = *have[static_cast<std::size_t>(send_local)];
+      Message m;
+      m.tag = k;
+      m.bytes = ops.bytes(v);
+      m.payload = std::make_shared<V>(v);  // copy: we keep our own
+      c.post(rank, c.next(rank), t, std::move(m));
+      Message in = co_await c.recv(rank, c.prev(rank), t);
+      have[static_cast<std::size_t>(recv_local)] =
+          std::move(*std::static_pointer_cast<V>(in.payload));
+    }
+    for (int j = 0; j < n; ++j) {
+      out.push_back({t * n + j, std::move(*have[static_cast<std::size_t>(j)])});
+    }
+  } catch (...) {
+    if (!error) error = std::current_exception();
   }
   wg.done();
 }
@@ -161,12 +178,14 @@ sim::Task<std::vector<Seg<V>>> ring_allgather(Communicator& c, int rank,
   std::vector<std::vector<Seg<V>>> per_thread(static_cast<std::size_t>(p));
   sim::WaitGroup wg(c.simulator());
   wg.add(p);
+  std::exception_ptr error;
   for (int t = 0; t < p; ++t) {
     c.simulator().spawn(detail::ring_ag_worker<V>(
         c, rank, t, ops, std::move(owned[static_cast<std::size_t>(t)]),
-        per_thread[static_cast<std::size_t>(t)], wg));
+        per_thread[static_cast<std::size_t>(t)], wg, error));
   }
   co_await wg.wait();
+  if (error) std::rethrow_exception(error);
   for (auto& v : per_thread) {
     for (auto& s : v) all.push_back(std::move(s));
   }
@@ -389,22 +408,30 @@ sim::Task<Seg<V>> pairwise_reduce_scatter(Communicator& c, int rank,
   co_return Seg<V>{rank, std::move(mine)};
 }
 
-/// Runs `fn(rank)` concurrently on every rank; completes when all do.
+/// Runs `fn(rank)` concurrently on every rank; completes when all do. If
+/// any rank throws (e.g. CollectiveFailed from a timed-out recv), the first
+/// exception is rethrown here after every rank has finished or failed.
 inline sim::Task<void> run_all_ranks(
     Communicator& c, std::function<sim::Task<void>(int)> fn) {
   sim::WaitGroup wg(c.simulator());
   wg.add(c.size());
   struct Runner {
     static sim::Task<void> go(std::function<sim::Task<void>(int)> f, int r,
-                              sim::WaitGroup& w) {
-      co_await f(r);
+                              sim::WaitGroup& w, std::exception_ptr& error) {
+      try {
+        co_await f(r);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
       w.done();
     }
   };
+  std::exception_ptr error;
   for (int r = 0; r < c.size(); ++r) {
-    c.simulator().spawn(Runner::go(fn, r, wg));
+    c.simulator().spawn(Runner::go(fn, r, wg, error));
   }
   co_await wg.wait();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace sparker::comm

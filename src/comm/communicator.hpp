@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +27,16 @@
 namespace sparker::comm {
 
 using net::Message;
+
+/// Raised out of a collective when a rank detects that it cannot make
+/// progress: its own node has been killed, or a `recv` sat past the
+/// configured timeout with nothing delivered (peer death or severed
+/// channel). The engine catches this at the stage boundary and retries the
+/// collective on the surviving topology (stage-level retry, paper §3.2).
+struct CollectiveFailed : std::runtime_error {
+  explicit CollectiveFailed(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 class Communicator {
  public:
@@ -58,6 +70,26 @@ class Communicator {
   net::Fabric& fabric() noexcept { return *fabric_; }
   sim::Simulator& simulator() noexcept { return fabric_->simulator(); }
 
+  /// Deadline for a blocking `recv`; 0 disables timeout detection (a hung
+  /// recv then deadlocks the simulation, as before this fabric existed).
+  void set_recv_timeout(sim::Duration timeout) { recv_timeout_ = timeout; }
+  sim::Duration recv_timeout() const noexcept { return recv_timeout_; }
+
+  /// Maps each rank to the FaultFabric node identity used for kill/sever
+  /// queries. Defaults to the identity map (rank r is fault node r); the
+  /// engine overrides it with executor ids so `kill_executor` schedules
+  /// survive communicator rebuilds that renumber ranks.
+  void set_rank_to_node(std::vector<int> rank_to_node) {
+    rank_to_node_ = std::move(rank_to_node);
+  }
+  int node_of(int rank) const {
+    if (rank_to_node_.empty()) return rank;
+    return rank_to_node_.at(static_cast<std::size_t>(rank));
+  }
+  bool rank_alive(int rank) const {
+    return fabric_->faults().node_alive(node_of(rank));
+  }
+
   /// Posts a message from `src` to `dst` on parallel channel `channel`.
   /// Asynchronous and FIFO per (src, dst, channel).
   ///
@@ -69,13 +101,36 @@ class Communicator {
   void post(int src, int dst, int channel, Message m) {
     m.src = src;
     m.channel = channel;
-    if (!link_.jvm) {
+    // Node-level and channel-level faults, evaluated at post time: a dead
+    // endpoint or a severed channel silently loses the message. The
+    // receiver observes the loss only as a hung recv (see recv_timeout).
+    net::FaultFabric& faults = fabric_->faults();
+    const int src_node = node_of(src);
+    const int dst_node = node_of(dst);
+    if (!faults.node_alive(src_node) || !faults.node_alive(dst_node) ||
+        !faults.channel_up(src_node, dst_node, channel)) {
+      return;
+    }
+    // A degraded channel is modeled as extra serialization delay on top of
+    // any explicit injected message delay.
+    sim::Duration extra = faults.channel_delay(src_node, dst_node, channel);
+    const double degrade = faults.channel_degrade(src_node, dst_node, channel);
+    if (degrade > 1.0) {
+      extra += static_cast<sim::Duration>(
+          static_cast<double>(sim::transfer_time(
+              static_cast<double>(m.bytes), link_.stream_bw)) *
+          (degrade - 1.0));
+    }
+    if (!link_.jvm && extra == 0) {
       connection(src, dst, channel).post(std::move(m));
       return;
     }
-    const sim::Duration cpu = sim::transfer_time(
-        static_cast<double>(m.bytes), link_.stream_bw);
-    const sim::Time ready = io_thread(src, channel).enqueue(cpu);
+    sim::Time ready = simulator().now() + extra;
+    if (link_.jvm) {
+      const sim::Duration cpu = sim::transfer_time(
+          static_cast<double>(m.bytes), link_.stream_bw);
+      ready = io_thread(src, channel).enqueue(cpu) + extra;
+    }
     auto* conn = &connection(src, dst, channel);
     simulator().call_at(
         ready, [conn, m = std::move(m)]() mutable { conn->post(std::move(m)); });
@@ -85,8 +140,27 @@ class Communicator {
   /// For JVM-backed links the receiver rank's IO thread copies the message
   /// out of the socket before it is visible.
   sim::Task<Message> recv(int dst, int src, int channel) {
+    if (!rank_alive(dst)) {
+      throw CollectiveFailed("recv on dead rank " + std::to_string(dst));
+    }
     auto& conn = connection(src, dst, channel);
-    Message m = co_await conn.inbox().recv();
+    Message m;
+    if (recv_timeout_ > 0) {
+      std::optional<Message> got =
+          co_await conn.inbox().recv_until(simulator().now() + recv_timeout_);
+      if (!got) {
+        throw CollectiveFailed(
+            "recv timeout: rank " + std::to_string(dst) + " <- rank " +
+            std::to_string(src) + " channel " + std::to_string(channel));
+      }
+      m = std::move(*got);
+    } else {
+      m = co_await conn.inbox().recv();
+    }
+    if (!rank_alive(dst)) {
+      throw CollectiveFailed("rank " + std::to_string(dst) +
+                             " died while receiving");
+    }
     if (link_.jvm) {
       const sim::Duration cpu = sim::transfer_time(
           static_cast<double>(m.bytes), link_.stream_bw);
@@ -146,7 +220,9 @@ class Communicator {
 
   net::Fabric* fabric_;
   std::vector<int> rank_to_host_;
+  std::vector<int> rank_to_node_;  ///< empty = identity map.
   net::LinkParams link_;
+  sim::Duration recv_timeout_ = 0;  ///< 0 = no timeout detection.
   int parallelism_;
   int io_cores_;
   std::unordered_map<std::uint64_t, std::unique_ptr<net::Connection>> conns_;

@@ -67,12 +67,20 @@ struct AggMetrics {
   Time compute_done = 0;  ///< end of the first (compute) stage.
   Time end = 0;
   int task_retries = 0;    ///< task-level retries (non-IMM path).
-  int stage_restarts = 0;  ///< whole-stage restarts (IMM path).
+  int stage_restarts = 0;  ///< whole-stage restarts (IMM + ring stages).
+  /// Attempts the SpawnRDD ring stage took (1 = fault-free).
+  int ring_stage_attempts = 0;
+  /// Simulated time lost to failed ring-stage attempts: wasted collective
+  /// work, lost-partial recomputation, backoff, and rescheduling.
+  Duration recovery_time = 0;
 
   Duration compute_time() const { return compute_done - start; }
   Duration reduce_time() const { return end - compute_done; }
   Duration total() const { return end - start; }
 };
+
+/// The name the paper's API uses for per-job statistics.
+using AggStats = AggMetrics;
 
 namespace detail {
 
@@ -96,12 +104,29 @@ struct Blob {
 /// defaults to 1 MiB).
 inline constexpr std::uint64_t kDirectResultLimit = 1ull << 20;
 
+/// Picks the executor a task actually runs on: the preferred one, or — if
+/// the fault fabric killed it — the next alive executor in a deterministic
+/// scan (Spark reschedules lost tasks on surviving executors).
+inline int schedule_executor(Cluster& cl, int preferred) {
+  if (cl.executor_alive(preferred)) return preferred;
+  const int n = cl.num_executors();
+  for (int i = 1; i < n; ++i) {
+    const int cand = (preferred + i) % n;
+    if (cl.executor_alive(cand)) return cand;
+  }
+  throw std::runtime_error("no live executor to schedule task on");
+}
+
 /// Dispatch + control hop + core slot + task setup, then the real seqOp
-/// fold over the partition. Throws TaskFailed per the fault plan.
+/// fold over the partition. Throws TaskFailed per the fault plan, or when
+/// the fault fabric kills the executor before the task result is reported.
+/// If `ran_on` is non-null it receives the executor the task ran on.
 template <typename T, typename U>
 sim::Task<U> compute_attempt(Cluster& cl, CachedRdd<T>& rdd,
-                             const TreeAggSpec<T, U>& spec, TaskId id) {
-  const int exec_id = rdd.preferred_executor(id.task);
+                             const TreeAggSpec<T, U>& spec, TaskId id,
+                             int* ran_on = nullptr) {
+  const int exec_id = schedule_executor(cl, rdd.preferred_executor(id.task));
+  if (ran_on) *ran_on = exec_id;
   Executor& ex = cl.executor(exec_id);
   const Time dispatched =
       cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
@@ -120,19 +145,23 @@ sim::Task<U> compute_attempt(Cluster& cl, CachedRdd<T>& rdd,
                                cl.spec().rates.core_speed);
   co_await cl.simulator().sleep(cost);
   if (cl.config().faults.fails(id)) throw TaskFailed{};
+  // The executor died while this task was running: its result is lost.
+  if (!cl.executor_alive(exec_id)) throw TaskFailed{};
   co_return agg;
 }
 
 /// Task-level retry loop (vanilla Spark semantics: failed tasks rerun
-/// individually).
+/// individually). `stage` distinguishes recomputation of lost partials
+/// (stage 1) from the original compute stage for FaultPlan rules.
 template <typename T, typename U>
 sim::Task<U> compute_with_retry(Cluster& cl, CachedRdd<T>& rdd,
                                 const TreeAggSpec<T, U>& spec, int job,
-                                int task, AggMetrics* m) {
+                                int task, AggMetrics* m, int stage = 0,
+                                int* ran_on = nullptr) {
   for (int attempt = 0;; ++attempt) {
     try {
-      co_return co_await compute_attempt(cl, rdd, spec,
-                                         TaskId{job, 0, task, attempt});
+      co_return co_await compute_attempt(
+          cl, rdd, spec, TaskId{job, stage, task, attempt}, ran_on);
     } catch (const TaskFailed&) {
       if (m) ++m->task_retries;
       if (attempt + 1 >= cl.config().max_task_attempts) {
@@ -185,30 +214,35 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
 }
 
 /// Reduced-result stage (In-Memory Merge): task results fold into one
-/// shared value per executor, unserialized; any failure restarts the whole
-/// stage after clearing the partials (paper Section 3.2).
+/// shared value per executor, unserialized; any failure — an injected task
+/// fault, or an executor dying with partials merged into it — restarts the
+/// whole stage after clearing the partials (paper Section 3.2). If
+/// `task_exec` is non-null it receives, per partition, the executor whose
+/// shared value absorbed that partition (the ring-stage retry uses this to
+/// recompute exactly the partials a later death loses).
 template <typename T, typename U>
-sim::Task<std::vector<Blob<U>>> compute_stage_imm(Cluster& cl,
-                                                  CachedRdd<T>& rdd,
-                                                  const TreeAggSpec<T, U>& spec,
-                                                  int job, AggMetrics* m) {
+sim::Task<std::vector<Blob<U>>> compute_stage_imm(
+    Cluster& cl, CachedRdd<T>& rdd, const TreeAggSpec<T, U>& spec, int job,
+    AggMetrics* m, std::vector<int>* task_exec = nullptr) {
   const int p = rdd.num_partitions();
   for (int stage_attempt = 0;; ++stage_attempt) {
     const std::int64_t key = static_cast<std::int64_t>(job);
     bool failed = false;
     std::exception_ptr error;
+    std::vector<int> ran_on(static_cast<std::size_t>(p), -1);
     sim::WaitGroup wg(cl.simulator());
     wg.add(p);
     struct Worker {
       static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
                                 const TreeAggSpec<T, U>& spec, int job,
                                 int task, int attempt, std::int64_t key,
-                                bool& failed, sim::WaitGroup& wg,
+                                bool& failed, int& ran_on, sim::WaitGroup& wg,
                                 std::exception_ptr& error) {
         try {
-          U agg = co_await compute_attempt(cl, rdd, spec,
-                                           TaskId{job, 0, task, attempt});
-          const int exec_id = rdd.preferred_executor(task);
+          int exec_id = -1;
+          U agg = co_await compute_attempt(
+              cl, rdd, spec, TaskId{job, 0, task, attempt}, &exec_id);
+          ran_on = exec_id;
           Executor& ex = cl.executor(exec_id);
           auto& obj = ex.mutable_object(key, cl.simulator());
           co_await obj.lock->acquire();
@@ -230,10 +264,22 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(Cluster& cl,
     };
     for (int t = 0; t < p; ++t) {
       cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t, stage_attempt,
-                                      key, failed, wg, error));
+                                      key, failed,
+                                      ran_on[static_cast<std::size_t>(t)], wg,
+                                      error));
     }
     co_await wg.wait();
     if (error) std::rethrow_exception(error);
+    if (!failed) {
+      // An executor that died after absorbing partials loses them: that is
+      // a stage failure too (no task-level recovery under IMM).
+      for (int t = 0; t < p; ++t) {
+        if (!cl.executor_alive(ran_on[static_cast<std::size_t>(t)])) {
+          failed = true;
+          break;
+        }
+      }
+    }
     if (!failed) {
       std::vector<Blob<U>> out;
       for (int e = 0; e < cl.num_executors(); ++e) {
@@ -246,13 +292,14 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(Cluster& cl,
         }
         ex.clear_mutable_object(key);
       }
+      if (task_exec) *task_exec = std::move(ran_on);
       co_return out;
     }
     if (m) ++m->stage_restarts;
     for (int e = 0; e < cl.num_executors(); ++e) {
       cl.executor(e).clear_mutable_object(key);
     }
-    if (stage_attempt + 1 >= cl.config().max_task_attempts) {
+    if (stage_attempt + 1 >= cl.config().max_stage_attempts) {
       throw std::runtime_error("stage exceeded max attempts; job aborted");
     }
   }
@@ -364,6 +411,8 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->start = cl.simulator().now();
   m->task_retries = 0;
   m->stage_restarts = 0;
+  m->ring_stage_attempts = 0;
+  m->recovery_time = 0;
 
   const bool imm = cl.config().agg_mode != AggMode::kTree;
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
@@ -428,6 +477,15 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
 /// Sparker's splitAggregate (paper Figure 6): reduced-result stage, then a
 /// statically scheduled SpawnRDD stage running ring reduce-scatter over the
 /// scalable communicator, then collect + concatOp at the driver.
+///
+/// The SpawnRDD stage is fault-tolerant at *stage* granularity: if a
+/// collective fails (an executor dies mid-ring, or a severed channel times
+/// a recv out), the surviving per-executor merged values from stage 1 are
+/// kept, any partials lost with dead executors are recomputed onto
+/// survivors, the communicator is rebuilt over the surviving topology, and
+/// the whole ring stage re-runs after an exponential backoff — up to
+/// `max_stage_attempts` times. Attempt counts and the simulated time lost
+/// to recovery land in AggStats.
 template <typename T, typename U, typename V>
 sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
                              const SplitAggSpec<T, U, V>& spec,
@@ -438,86 +496,169 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->start = cl.simulator().now();
   m->task_retries = 0;
   m->stage_restarts = 0;
+  m->ring_stage_attempts = 0;
+  m->recovery_time = 0;
 
   // Stage 1: reduced-result stage; exactly one aggregator per executor.
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-  auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m);
+  std::vector<int> task_exec;
+  auto blobs =
+      co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m,
+                                         &task_exec);
   m->compute_done = cl.simulator().now();
 
-  auto& sc = cl.scalable_comm();
-  const int n = sc.size();
-  // Executors that received no partition contribute a zero aggregator.
-  std::vector<std::shared_ptr<U>> per_exec(static_cast<std::size_t>(n));
+  // Per-executor merged values, keyed by *executor id* (stable across
+  // communicator rebuilds), plus which partitions fed each value — the
+  // recovery bookkeeping for refolding lost partials.
+  const int num_exec = cl.num_executors();
+  std::vector<std::shared_ptr<U>> per_exec(static_cast<std::size_t>(num_exec));
+  std::vector<std::vector<int>> owned(static_cast<std::size_t>(num_exec));
   for (auto& b : blobs) {
     per_exec[static_cast<std::size_t>(b.executor)] = b.value;
   }
-  for (auto& v : per_exec) {
-    if (!v) v = std::make_shared<U>(spec.base.zero);
+  for (int t = 0; t < rdd.num_partitions(); ++t) {
+    owned[static_cast<std::size_t>(task_exec[static_cast<std::size_t>(t)])]
+        .push_back(t);
   }
 
-  // Stage 2: SpawnRDD — one task pinned to each executor.
-  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-  std::vector<std::pair<int, V>> all_segs;
-  std::uint64_t total_v_bytes = 0;
-  sim::WaitGroup wg(cl.simulator());
-  wg.add(n);
+  // Stage 2: SpawnRDD — one task pinned to each live executor, retried at
+  // stage granularity on collective failure.
   struct RingTask {
+    // `rank` is this executor's rank in `sc`, captured when the attempt's
+    // communicator was built: re-deriving it here (rank_of_executor) could
+    // trigger a mid-attempt rebuild if another executor has died since,
+    // leaving rank and communicator inconsistent.
     static sim::Task<void> go(Cluster& cl, comm::Communicator& sc, int exec_id,
-                              const SplitAggSpec<T, U, V>& spec,
+                              int rank, const SplitAggSpec<T, U, V>& spec,
                               std::shared_ptr<U> local,
                               std::vector<std::pair<int, V>>& all_segs,
-                              std::uint64_t& total_v_bytes,
-                              sim::WaitGroup& wg) {
-      const Time dispatched =
-          cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
-      co_await cl.simulator().sleep_until(dispatched);
-      co_await cl.simulator().sleep(cl.control_latency(exec_id));
-      Executor& ex = cl.executor(exec_id);
-      co_await ex.cores().acquire();
-      sim::SemaphoreGuard slot(ex.cores());
-      co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
-      // Splitting the aggregator into P*N segments is one pass over it.
-      co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
-      comm::SegOps<V> ops;
-      ops.split = [&spec, &local](int seg, int nseg) {
-        return spec.split_op(*local, seg, nseg);
-      };
-      ops.reduce_into = spec.reduce_op;
-      ops.bytes = spec.v_bytes;
-      ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
-      const int rank = cl.rank_of_executor(exec_id);
-      auto segs = co_await comm::ring_reduce_scatter<V>(sc, rank, ops);
-      // Ship this task's P segments to the driver as its task result.
-      std::uint64_t nbytes = 0;
-      for (auto& [idx, v] : segs) nbytes += spec.v_bytes(v);
-      co_await cl.simulator().sleep(cl.ser_time(nbytes));
-      co_await cl.simulator().sleep(cl.control_latency(exec_id));
-      if (nbytes > detail::kDirectResultLimit) {
-        co_await cl.fetch_blob(exec_id, Cluster::kDriver, nbytes);
+                              std::uint64_t& total_v_bytes, sim::WaitGroup& wg,
+                              std::exception_ptr& error) {
+      try {
+        const Time dispatched =
+            cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
+        co_await cl.simulator().sleep_until(dispatched);
+        co_await cl.simulator().sleep(cl.control_latency(exec_id));
+        Executor& ex = cl.executor(exec_id);
+        co_await ex.cores().acquire();
+        sim::SemaphoreGuard slot(ex.cores());
+        co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
+        // Splitting the aggregator into P*N segments is one pass over it.
+        co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
+        comm::SegOps<V> ops;
+        ops.split = [&spec, &local](int seg, int nseg) {
+          return spec.split_op(*local, seg, nseg);
+        };
+        ops.reduce_into = spec.reduce_op;
+        ops.bytes = spec.v_bytes;
+        ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
+        auto segs = co_await comm::ring_reduce_scatter<V>(sc, rank, ops);
+        if (!cl.executor_alive(exec_id)) {
+          throw comm::CollectiveFailed("executor died after reduce-scatter");
+        }
+        // Ship this task's P segments to the driver as its task result.
+        std::uint64_t nbytes = 0;
+        for (auto& [idx, v] : segs) nbytes += spec.v_bytes(v);
+        co_await cl.simulator().sleep(cl.ser_time(nbytes));
+        co_await cl.simulator().sleep(cl.control_latency(exec_id));
+        if (nbytes > detail::kDirectResultLimit) {
+          co_await cl.fetch_blob(exec_id, Cluster::kDriver, nbytes);
+        }
+        const Time done =
+            cl.driver_loop().enqueue(cl.driver_deser_time(nbytes));
+        co_await cl.simulator().sleep_until(done);
+        for (auto& s : segs) all_segs.push_back(std::move(s));
+        total_v_bytes += nbytes;
+      } catch (...) {
+        if (!error) error = std::current_exception();
       }
-      const Time done =
-          cl.driver_loop().enqueue(cl.driver_deser_time(nbytes));
-      co_await cl.simulator().sleep_until(done);
-      for (auto& s : segs) all_segs.push_back(std::move(s));
-      total_v_bytes += nbytes;
       wg.done();
     }
   };
-  for (int e = 0; e < n; ++e) {
-    cl.simulator().spawn(RingTask::go(cl, sc, e, spec,
-                                      per_exec[static_cast<std::size_t>(e)],
-                                      all_segs, total_v_bytes, wg));
-  }
-  co_await wg.wait();
 
-  std::sort(all_segs.begin(), all_segs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  const Time done =
-      cl.driver_loop().enqueue(cl.driver_merge_cost(total_v_bytes));
-  co_await cl.simulator().sleep_until(done);
-  V result = spec.concat_op(all_segs);
-  m->end = cl.simulator().now();
-  co_return result;
+  for (int ring_attempt = 1;; ++ring_attempt) {
+    m->ring_stage_attempts = ring_attempt;
+    const Time attempt_start = cl.simulator().now();
+    bool attempt_failed = false;
+    try {
+      co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+      // Fix the ring membership FIRST: the communicator spans the executors
+      // alive at this instant. Partials held by anyone outside that rank set
+      // (dead, or killed during the scheduler delay above) are then refolded
+      // against the same snapshot — checking liveness before the rebuild
+      // would let a kill in between slip an executor's partial out of the
+      // ring without recovery.
+      auto& sc = cl.scalable_comm();
+      // Recompute partials that died with their executor, folding them into
+      // survivors' shared values (partition data regenerates
+      // deterministically, exactly like a Spark recompute).
+      for (int e = 0; e < num_exec; ++e) {
+        if (cl.rank_of_executor(e) >= 0 ||
+            owned[static_cast<std::size_t>(e)].empty()) {
+          continue;
+        }
+        const std::vector<int> lost =
+            std::move(owned[static_cast<std::size_t>(e)]);
+        owned[static_cast<std::size_t>(e)].clear();
+        per_exec[static_cast<std::size_t>(e)].reset();
+        for (int pid : lost) {
+          int ran_on = -1;
+          U agg = co_await detail::compute_with_retry(
+              cl, rdd, spec.base, job, pid, m, /*stage=*/1, &ran_on);
+          auto& dst = per_exec[static_cast<std::size_t>(ran_on)];
+          if (!dst) dst = std::make_shared<U>(spec.base.zero);
+          co_await cl.simulator().sleep(
+              cl.merge_cost(spec.base.bytes(agg)));
+          spec.base.comb_op(*dst, agg);
+          owned[static_cast<std::size_t>(ran_on)].push_back(pid);
+        }
+      }
+      const int n = sc.size();
+      std::vector<std::pair<int, V>> all_segs;
+      std::uint64_t total_v_bytes = 0;
+      std::exception_ptr error;
+      sim::WaitGroup wg(cl.simulator());
+      wg.add(n);
+      for (int r = 0; r < n; ++r) {
+        const int e = cl.executor_of_rank(r);
+        auto localv = per_exec[static_cast<std::size_t>(e)];
+        // Executors that received no partition contribute a zero aggregator.
+        if (!localv) localv = std::make_shared<U>(spec.base.zero);
+        cl.simulator().spawn(RingTask::go(cl, sc, e, r, spec,
+                                          std::move(localv), all_segs,
+                                          total_v_bytes, wg, error));
+      }
+      co_await wg.wait();
+      if (error) std::rethrow_exception(error);
+
+      std::sort(all_segs.begin(), all_segs.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      const Time done =
+          cl.driver_loop().enqueue(cl.driver_merge_cost(total_v_bytes));
+      co_await cl.simulator().sleep_until(done);
+      V result = spec.concat_op(all_segs);
+      m->end = cl.simulator().now();
+      co_return result;
+    } catch (const comm::CollectiveFailed&) {
+      // Stage-level cleanup: the failed attempt's communicator (with any
+      // stale in-flight messages) is retired; the next attempt gets a
+      // fresh one over the surviving topology.
+      cl.invalidate_scalable_comm();
+      attempt_failed = true;
+    }
+    if (attempt_failed) {
+      if (m) ++m->stage_restarts;
+      if (ring_attempt >= cl.config().max_stage_attempts) {
+        throw std::runtime_error(
+            "ring stage exceeded max attempts; job aborted");
+      }
+      // Exponential backoff before re-running the stage.
+      const Duration backoff = cl.config().stage_retry_backoff
+                               << (ring_attempt - 1);
+      co_await cl.simulator().sleep(backoff);
+      m->recovery_time += cl.simulator().now() - attempt_start;
+    }
+  }
 }
 
 /// Allreduce-flavoured split aggregation (extension; paper Section 6 notes
@@ -540,6 +681,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
   m->start = cl.simulator().now();
   m->task_retries = 0;
   m->stage_restarts = 0;
+  m->ring_stage_attempts = 0;
+  m->recovery_time = 0;
 
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
   auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m);
@@ -547,7 +690,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
 
   auto& sc = cl.scalable_comm();
   const int n = sc.size();
-  std::vector<std::shared_ptr<U>> per_exec(static_cast<std::size_t>(n));
+  std::vector<std::shared_ptr<U>> per_exec(
+      static_cast<std::size_t>(cl.num_executors()));
   for (auto& b : blobs) {
     per_exec[static_cast<std::size_t>(b.executor)] = b.value;
   }
@@ -597,7 +741,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
       wg.done();
     }
   };
-  for (int e = 0; e < n; ++e) {
+  for (int r = 0; r < n; ++r) {
+    const int e = cl.executor_of_rank(r);
     cl.simulator().spawn(AllreduceTask::go(
         cl, sc, e, spec, per_exec[static_cast<std::size_t>(e)], result,
         result_key, wg));

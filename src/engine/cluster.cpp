@@ -27,6 +27,42 @@ Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
         sim, info.executor_id, info.host, spec_.cores_per_executor,
         info.hostname));
   }
+  if (!cfg_.fault_schedule.empty()) arm_faults();
+}
+
+void Cluster::arm_faults() {
+  net::FaultFabric& faults = fabric_->faults();
+  faults.reseed(cfg_.fault_schedule.seed);
+  for (const FaultEvent& e : cfg_.fault_schedule.events) {
+    switch (e.kind) {
+      case FaultEvent::Kind::kKillExecutor:
+        faults.kill_node_at(e.at, e.a);
+        break;
+      case FaultEvent::Kind::kSeverChannel:
+        faults.sever_channel_at(e.at, e.a, e.b, e.channel, e.heal_after);
+        break;
+      case FaultEvent::Kind::kDelayChannel:
+        faults.delay_channel_at(e.at, e.a, e.b, e.channel, e.delay,
+                                e.heal_after);
+        break;
+      case FaultEvent::Kind::kDegradeChannel:
+        faults.degrade_channel_at(e.at, e.a, e.b, e.channel, e.factor,
+                                  e.heal_after);
+        break;
+    }
+  }
+}
+
+std::vector<int> Cluster::alive_executors() const {
+  std::vector<int> alive;
+  for (int e = 0; e < num_executors(); ++e) {
+    if (executor_alive(e)) alive.push_back(e);
+  }
+  return alive;
+}
+
+void Cluster::invalidate_scalable_comm() {
+  if (sc_) retired_sc_.push_back(std::move(sc_));
 }
 
 Cluster::DemuxConn& Cluster::demux(int from, int to) {
@@ -76,7 +112,13 @@ sim::Task<void> Cluster::fetch_blob(int from, int to, std::uint64_t bytes) {
 void Cluster::rebuild_comm() {
   const auto infos =
       comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
-  std::vector<comm::ExecutorInfo> order = infos;
+  std::vector<comm::ExecutorInfo> order;
+  for (const auto& e : infos) {
+    if (executor_alive(e.executor_id)) order.push_back(e);
+  }
+  if (order.empty()) {
+    throw std::runtime_error("all executors dead: cannot build communicator");
+  }
   if (cfg_.topology_aware) {
     std::sort(order.begin(), order.end(),
               [](const comm::ExecutorInfo& a, const comm::ExecutorInfo& b) {
@@ -93,18 +135,26 @@ void Cluster::rebuild_comm() {
     rank_to_exec_.push_back(e.executor_id);
     rank_to_host.push_back(e.host);
   }
+  invalidate_scalable_comm();
   sc_ = std::make_unique<comm::Communicator>(
       *fabric_, std::move(rank_to_host), spec_.sc_link, cfg_.sai_parallelism,
       spec_.cores_per_executor);
+  // Fault-fabric node identity of rank r is its executor id, so kill/sever
+  // schedules written in executor ids survive rank renumbering.
+  sc_->set_rank_to_node(rank_to_exec_);
+  sc_->set_recv_timeout(cfg_.collective_timeout);
   sc_parallelism_ = cfg_.sai_parallelism;
   sc_topology_aware_ = cfg_.topology_aware;
+  sc_alive_ = alive_executors();
 }
 
 comm::Communicator& Cluster::scalable_comm() {
   if (!sc_ || sc_parallelism_ != cfg_.sai_parallelism ||
-      sc_topology_aware_ != cfg_.topology_aware) {
+      sc_topology_aware_ != cfg_.topology_aware ||
+      sc_alive_ != alive_executors()) {
     rebuild_comm();
   }
+  sc_->set_recv_timeout(cfg_.collective_timeout);
   return *sc_;
 }
 

@@ -97,6 +97,32 @@ class Cluster {
     return *executors_.at(static_cast<std::size_t>(id));
   }
 
+  // ---- fault fabric -------------------------------------------------------
+
+  /// The fabric's fault-injection state. Executors are registered as fault
+  /// "nodes" under their executor id, so `faults().kill_node(e)` kills
+  /// executor e regardless of its current communicator rank.
+  net::FaultFabric& faults() noexcept { return fabric_->faults(); }
+
+  /// False once the fault fabric has killed this executor.
+  bool executor_alive(int exec_id) const {
+    return fabric_->faults().node_alive(exec_id);
+  }
+
+  /// Number of executors still alive.
+  int num_alive_executors() const {
+    int n = 0;
+    for (int e = 0; e < num_executors(); ++e) {
+      if (executor_alive(e)) ++n;
+    }
+    return n;
+  }
+
+  /// Forces the next scalable_comm() call to rebuild over the surviving
+  /// topology. The old communicator is parked, not destroyed: its pump
+  /// coroutines may still be suspended in the event queue mid-simulation.
+  void invalidate_scalable_comm();
+
   // ---- cost model ---------------------------------------------------------
 
   Duration ser_time(std::uint64_t bytes) const {
@@ -145,9 +171,10 @@ class Cluster {
 
   // ---- scalable communicator (Sparker) -------------------------------------
 
-  /// The scalable communicator spanning all executors, with ranks ordered
-  /// per the topology-awareness setting. Built lazily; rebuilt if the
-  /// parallelism or ordering config changed since last use.
+  /// The scalable communicator spanning all *live* executors, with ranks
+  /// ordered per the topology-awareness setting. Built lazily; rebuilt if
+  /// the parallelism or ordering config changed, or if executors died since
+  /// last use.
   comm::Communicator& scalable_comm();
   int rank_of_executor(int exec_id);
   int executor_of_rank(int rank);
@@ -180,6 +207,8 @@ class Cluster {
 
   DemuxConn& demux(int from, int to);
   void rebuild_comm();
+  void arm_faults();
+  std::vector<int> alive_executors() const;
 
   sim::Simulator* sim_;
   net::ClusterSpec spec_;
@@ -193,8 +222,12 @@ class Cluster {
   int job_seq_ = 0;
 
   std::unique_ptr<comm::Communicator> sc_;
+  // Retired communicators: destroyed only with the cluster, because their
+  // pump coroutines may still hold suspended frames in the event queue.
+  std::vector<std::unique_ptr<comm::Communicator>> retired_sc_;
   int sc_parallelism_ = 0;
   bool sc_topology_aware_ = false;
+  std::vector<int> sc_alive_;  ///< executor ids the current comm spans.
   std::vector<int> rank_to_exec_;
   std::vector<int> exec_to_rank_;
 };

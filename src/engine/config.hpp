@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -38,6 +40,68 @@ struct FaultPlan {
   }
 };
 
+/// One scheduled fabric-level fault. Unlike FaultPlan (which fails task
+/// *attempts* at the task boundary), these strike at a simulated *time*:
+/// an executor process dies, or a specific ring channel between two
+/// executors is severed / delayed / degraded — possibly mid-collective.
+struct FaultEvent {
+  enum class Kind {
+    kKillExecutor,    ///< executor `a` dies at `at` and never recovers.
+    kSeverChannel,    ///< channel a->b (one ring channel, or all) drops.
+    kDelayChannel,    ///< channel a->b gains `delay` per message.
+    kDegradeChannel,  ///< channel a->b serializes `factor`x slower.
+  };
+  Kind kind = Kind::kKillExecutor;
+  sim::Time at = 0;         ///< simulated time the fault strikes.
+  int a = 0;                ///< executor id (kill) or source executor.
+  int b = 0;                ///< destination executor (channel faults).
+  int channel = -1;         ///< parallel-channel index; -1 = all channels.
+  sim::Duration heal_after = 0;  ///< 0 = permanent.
+  double factor = 1.0;      ///< degrade multiplier.
+  sim::Duration delay = 0;  ///< extra per-message delay.
+};
+
+/// A reproducible fabric fault schedule: a seed (for any randomized draws
+/// the test makes while composing it) plus the ordered event list. The
+/// cluster arms it onto the net::FaultFabric at construction, so identical
+/// schedules replay identical recovery traces bit for bit.
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  FaultSchedule& kill_executor(sim::Time at, int executor) {
+    events.push_back({FaultEvent::Kind::kKillExecutor, at, executor});
+    return *this;
+  }
+  FaultSchedule& sever_channel(sim::Time at, int src, int dst,
+                               int channel = -1,
+                               sim::Duration heal_after = 0) {
+    FaultEvent e{FaultEvent::Kind::kSeverChannel, at, src, dst, channel};
+    e.heal_after = heal_after;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& delay_channel(sim::Time at, int src, int dst, int channel,
+                               sim::Duration delay,
+                               sim::Duration heal_after = 0) {
+    FaultEvent e{FaultEvent::Kind::kDelayChannel, at, src, dst, channel};
+    e.delay = delay;
+    e.heal_after = heal_after;
+    events.push_back(e);
+    return *this;
+  }
+  FaultSchedule& degrade_channel(sim::Time at, int src, int dst, int channel,
+                                 double factor, sim::Duration heal_after = 0) {
+    FaultEvent e{FaultEvent::Kind::kDegradeChannel, at, src, dst, channel};
+    e.factor = factor;
+    e.heal_after = heal_after;
+    events.push_back(e);
+    return *this;
+  }
+};
+
 /// Per-executor compute slowdown multipliers (straggler model); executors
 /// not present run at speed 1.
 struct StragglerPlan {
@@ -63,7 +127,16 @@ struct EngineConfig {
   int sai_parallelism = 4;     ///< P: parallel ring channels (paper: 4).
   bool topology_aware = true;  ///< sort executors by hostname for the ring.
   int max_task_attempts = 4;   ///< task retries before the job fails.
+  int max_stage_attempts = 4;  ///< stage (collective) retries before failing.
+  /// A collective recv hung past this deadline raises CollectiveFailed
+  /// (0 disables detection and restores the pre-fault-fabric deadlock
+  /// behaviour). The default sits far above any legitimate recv wait in
+  /// the modeled clusters, so fault-free runs never time out.
+  sim::Duration collective_timeout = sim::seconds(30);
+  /// Base pause before re-running a failed ring stage; doubles per attempt.
+  sim::Duration stage_retry_backoff = sim::milliseconds(50);
   FaultPlan faults{};
+  FaultSchedule fault_schedule{};
   StragglerPlan stragglers{};
 };
 

@@ -8,6 +8,7 @@
 #include "engine/aggregate.hpp"
 #include "ml/gradient.hpp"
 #include "ml/linalg.hpp"
+#include "ser/byte_buffer.hpp"
 
 /// \file aggregator.hpp
 /// The gradient aggregator and its split-aggregation callbacks — the C++
@@ -38,6 +39,17 @@ struct GradientAggregator {
 
   DenseVector gradient_copy() const {
     return DenseVector(flat.begin(), flat.end() - 2);
+  }
+
+  // Wire codec (ser::Serializable): the flat layout *is* the wire layout.
+  void serialize(ser::ByteBuffer& b) const { b.write_vector(flat); }
+  static GradientAggregator deserialize(ser::ByteBuffer& b) {
+    GradientAggregator agg;
+    agg.flat = b.read_vector<double>();
+    return agg;
+  }
+  std::uint64_t serialized_bytes() const {
+    return static_cast<std::uint64_t>(flat.size()) * sizeof(double);
   }
 };
 

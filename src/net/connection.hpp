@@ -80,6 +80,14 @@ class Connection {
   sim::Task<void> pump() {
     for (;;) {
       Message m = co_await outbox_.recv();
+      // Host-level faults: a dead host or severed host link silently loses
+      // the message — like a real TCP connection, loss surfaces at the
+      // receiver as a hung recv (timeout), not as a sender error.
+      FaultFabric& faults = fabric_->faults();
+      if (!faults.host_alive(src_host_) || !faults.host_alive(dst_host_) ||
+          !faults.host_link_up(src_host_, dst_host_)) {
+        continue;
+      }
       co_await transmit(m);
       bytes_delivered_ += m.bytes;
       inbox_.send(std::move(m));
@@ -89,7 +97,8 @@ class Connection {
   sim::Task<void> transmit(const Message& m) {
     co_await sim_->sleep(params_.send_overhead);
     const bool local = (src_host_ == dst_host_);
-    const Duration lat = fabric_->latency(src_host_, dst_host_);
+    const Duration lat = fabric_->latency(src_host_, dst_host_) +
+                         fabric_->faults().host_link_delay(src_host_, dst_host_);
     if (local) {
       // Loopback: no NIC, no stream cap; rate-limited by memory copies.
       co_await sim_->sleep(
@@ -114,10 +123,16 @@ class Connection {
     do {
       const std::uint64_t chunk = std::min<std::uint64_t>(remaining, chunk_size);
       // Pace to the stream's rate cap: a chunk may not be injected earlier
-      // than one stream service time after the previous injection.
-      const Duration stream_t =
-          params_.per_chunk_cpu +
-          sim::transfer_time(static_cast<double>(chunk), params_.stream_bw);
+      // than one stream service time after the previous injection. A
+      // degraded host link stretches the stream service time.
+      const double degrade =
+          fabric_->faults().host_degrade(src_host_, dst_host_);
+      const Duration stream_t = static_cast<Duration>(
+          static_cast<double>(
+              params_.per_chunk_cpu +
+              sim::transfer_time(static_cast<double>(chunk),
+                                 params_.stream_bw)) *
+          (degrade < 1.0 ? 1.0 : degrade));
       if (stream_next_ > sim_->now()) {
         co_await sim_->sleep_until(stream_next_);
       }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/types.hpp"
@@ -68,7 +69,7 @@ class Host {
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, FabricParams params, int num_hosts)
-      : sim_(&sim), params_(params) {
+      : sim_(&sim), params_(params), faults_(sim) {
     hosts_.reserve(static_cast<std::size_t>(num_hosts));
     for (int i = 0; i < num_hosts; ++i) {
       hosts_.push_back(std::make_unique<Host>(sim));
@@ -88,6 +89,10 @@ class Fabric {
     return a == b ? params_.intra_latency : params_.inter_latency;
   }
 
+  /// The fabric's fault-injection state (healthy by default).
+  FaultFabric& faults() noexcept { return faults_; }
+  const FaultFabric& faults() const noexcept { return faults_; }
+
   /// Records `bytes` of JVM-managed traffic on a host; injects a NIC stall
   /// when the modeled GC threshold is crossed.
   void charge_jvm_bytes(int host_id, double bytes) {
@@ -105,6 +110,7 @@ class Fabric {
  private:
   sim::Simulator* sim_;
   FabricParams params_;
+  FaultFabric faults_;
   std::vector<std::unique_ptr<Host>> hosts_;
 };
 

@@ -1,0 +1,222 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+/// \file fault.hpp
+/// The deterministic fault-injection fabric.
+///
+/// A FaultFabric holds the cluster's failure state at two granularities:
+///
+///  * **node faults** — a node (an executor process in the engine, a rank in
+///    raw communicator tests) dies at a chosen simulated time and never
+///    recovers. Messages to or from a dead node are dropped at post time;
+///    a dead node's own `recv` raises `CollectiveFailed` (see
+///    comm/communicator.hpp). This is the paper's executor-loss case, which
+///    In-Memory Merge handles with *stage-level* retry (Section 3.2).
+///  * **channel faults** — one directed message channel between two nodes
+///    (optionally one specific parallel ring channel) is severed, degraded,
+///    or given extra delay, possibly healing after a while. Host-level link
+///    faults (consulted by net::Connection) model NIC/switch trouble shared
+///    by every flow between two hosts.
+///
+/// All fault times are scheduled on the discrete-event simulator and all
+/// randomized schedules draw from the fabric's own splittable RNG
+/// (sim/random.hpp), so a given seed replays the exact same failure trace,
+/// bit for bit — the property the fault tests and the recovery ablation
+/// depend on.
+
+namespace sparker::net {
+
+using sim::Duration;
+using sim::Time;
+
+class FaultFabric {
+ public:
+  /// Severed/degraded state with no heal time lasts forever.
+  static constexpr Time kNever = sim::kTimeNever;
+
+  explicit FaultFabric(sim::Simulator& sim, std::uint64_t seed = 0xfab51eedull)
+      : sim_(&sim), rng_(seed) {}
+  FaultFabric(const FaultFabric&) = delete;
+  FaultFabric& operator=(const FaultFabric&) = delete;
+
+  /// Re-seeds the schedule RNG (call before drawing a randomized schedule so
+  /// the whole failure trace is a pure function of the seed).
+  void reseed(std::uint64_t seed) { rng_ = sim::Rng(seed); }
+  sim::Rng& rng() noexcept { return rng_; }
+
+  /// Uniform random time in [lo, hi) from the schedule RNG — the helper
+  /// tests use to place faults "somewhere inside" a measured window.
+  Time random_time(Time lo, Time hi) {
+    if (hi <= lo) return lo;
+    return lo + rng_.next_below(hi - lo);
+  }
+
+  // ---- node (process) faults ----------------------------------------------
+
+  void kill_node(int node) { dead_nodes_.insert(node); }
+  void kill_node_at(Time t, int node) {
+    sim_->call_at(t, [this, node] { kill_node(node); });
+  }
+  bool node_alive(int node) const { return dead_nodes_.count(node) == 0; }
+  std::size_t dead_node_count() const { return dead_nodes_.size(); }
+
+  // ---- node-to-node channel faults (consulted by comm::Communicator) ------
+  // `channel` selects one parallel ring channel; -1 applies to all channels
+  // of the (src, dst) pair.
+
+  void sever_channel(int src, int dst, int channel, Time heal_at = kNever) {
+    channels_[chan_key(src, dst, channel)].severed_until = heal_at;
+  }
+  void sever_channel_at(Time t, int src, int dst, int channel,
+                        Duration heal_after = 0) {
+    sim_->call_at(t, [this, t, src, dst, channel, heal_after] {
+      sever_channel(src, dst, channel,
+                    heal_after > 0 ? t + heal_after : kNever);
+    });
+  }
+  bool channel_up(int src, int dst, int channel) const {
+    return !severed(channels_, chan_key(src, dst, channel)) &&
+           !severed(channels_, chan_key(src, dst, -1));
+  }
+
+  void delay_channel(int src, int dst, int channel, Duration extra,
+                     Time until = kNever) {
+    auto& f = channels_[chan_key(src, dst, channel)];
+    f.extra_delay = extra;
+    f.delay_until = until;
+  }
+  void delay_channel_at(Time t, int src, int dst, int channel, Duration extra,
+                        Duration heal_after = 0) {
+    sim_->call_at(t, [this, t, src, dst, channel, extra, heal_after] {
+      delay_channel(src, dst, channel, extra,
+                    heal_after > 0 ? t + heal_after : kNever);
+    });
+  }
+  Duration channel_delay(int src, int dst, int channel) const {
+    return delay_of(channels_, chan_key(src, dst, channel)) +
+           delay_of(channels_, chan_key(src, dst, -1));
+  }
+
+  /// Multiplies the per-message stream service time of a channel by
+  /// `factor` (>= 1): a degraded-but-alive link.
+  void degrade_channel(int src, int dst, int channel, double factor,
+                       Time until = kNever) {
+    auto& f = channels_[chan_key(src, dst, channel)];
+    f.degrade = factor;
+    f.degrade_until = until;
+  }
+  void degrade_channel_at(Time t, int src, int dst, int channel, double factor,
+                          Duration heal_after = 0) {
+    sim_->call_at(t, [this, t, src, dst, channel, factor, heal_after] {
+      degrade_channel(src, dst, channel, factor,
+                      heal_after > 0 ? t + heal_after : kNever);
+    });
+  }
+  double channel_degrade(int src, int dst, int channel) const {
+    return degrade_of(channels_, chan_key(src, dst, channel)) *
+           degrade_of(channels_, chan_key(src, dst, -1));
+  }
+
+  // ---- host-level link faults (consulted by net::Connection) --------------
+  // These affect every connection between two hosts (both the scalable
+  // communicator's channels and BlockManager traffic).
+
+  void kill_host(int host) { dead_hosts_.insert(host); }
+  void kill_host_at(Time t, int host) {
+    sim_->call_at(t, [this, host] { kill_host(host); });
+  }
+  bool host_alive(int host) const { return dead_hosts_.count(host) == 0; }
+
+  void sever_host_link(int a, int b, Time heal_at = kNever) {
+    hosts_[host_key(a, b)].severed_until = heal_at;
+  }
+  void sever_host_link_at(Time t, int a, int b, Duration heal_after = 0) {
+    sim_->call_at(t, [this, t, a, b, heal_after] {
+      sever_host_link(a, b, heal_after > 0 ? t + heal_after : kNever);
+    });
+  }
+  bool host_link_up(int a, int b) const {
+    return !severed(hosts_, host_key(a, b));
+  }
+
+  void degrade_host_link(int a, int b, double factor, Time until = kNever) {
+    auto& f = hosts_[host_key(a, b)];
+    f.degrade = factor;
+    f.degrade_until = until;
+  }
+  double host_degrade(int a, int b) const {
+    return degrade_of(hosts_, host_key(a, b));
+  }
+
+  void delay_host_link(int a, int b, Duration extra, Time until = kNever) {
+    auto& f = hosts_[host_key(a, b)];
+    f.extra_delay = extra;
+    f.delay_until = until;
+  }
+  Duration host_link_delay(int a, int b) const {
+    return delay_of(hosts_, host_key(a, b));
+  }
+
+  /// Heals every link fault and forgets every death (fresh schedule between
+  /// independent runs sharing one fabric).
+  void reset() {
+    dead_nodes_.clear();
+    dead_hosts_.clear();
+    channels_.clear();
+    hosts_.clear();
+  }
+
+ private:
+  struct LinkFault {
+    Time severed_until = 0;   ///< severed while now < severed_until.
+    Duration extra_delay = 0;
+    Time delay_until = 0;
+    double degrade = 1.0;
+    Time degrade_until = 0;
+  };
+  using FaultMap = std::unordered_map<std::uint64_t, LinkFault>;
+
+  static std::uint64_t chan_key(int src, int dst, int channel) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src + 1))
+            << 40) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst + 1))
+            << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(channel + 1));
+  }
+  static std::uint64_t host_key(int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a + 1))
+            << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(b + 1));
+  }
+
+  bool severed(const FaultMap& m, std::uint64_t key) const {
+    auto it = m.find(key);
+    return it != m.end() && sim_->now() < it->second.severed_until;
+  }
+  Duration delay_of(const FaultMap& m, std::uint64_t key) const {
+    auto it = m.find(key);
+    if (it == m.end() || sim_->now() >= it->second.delay_until) return 0;
+    return it->second.extra_delay;
+  }
+  double degrade_of(const FaultMap& m, std::uint64_t key) const {
+    auto it = m.find(key);
+    if (it == m.end() || sim_->now() >= it->second.degrade_until) return 1.0;
+    return it->second.degrade;
+  }
+
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  std::unordered_set<int> dead_nodes_;
+  std::unordered_set<int> dead_hosts_;
+  FaultMap channels_;  ///< keyed by (src node, dst node, channel).
+  FaultMap hosts_;     ///< keyed by (src host, dst host).
+};
+
+}  // namespace sparker::net

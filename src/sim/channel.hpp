@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -31,6 +33,7 @@ class Channel {
       Waiter* w = waiters_.front();
       waiters_.pop_front();
       w->slot.emplace(std::move(value));
+      if (w->settled) *w->settled = true;
       sim_->schedule_now(w->h);
     } else {
       items_.push_back(std::move(value));
@@ -39,6 +42,13 @@ class Channel {
 
   /// Awaitable receive; resolves to the next value in FIFO order.
   auto recv() { return RecvAwaiter{*this}; }
+
+  /// Awaitable receive with a deadline: resolves to the next value, or to
+  /// std::nullopt once simulated time reaches `deadline` with nothing
+  /// delivered. The waiter is removed from the queue on timeout, so a value
+  /// sent later goes to the next receiver (or the buffer) instead of a dead
+  /// coroutine frame.
+  auto recv_until(Time deadline) { return TimedRecvAwaiter{*this, deadline}; }
 
   /// Non-blocking receive.
   std::optional<T> try_recv() {
@@ -59,6 +69,10 @@ class Channel {
   struct Waiter {
     std::coroutine_handle<> h;
     std::optional<T> slot;
+    // Shared with the timeout timer (if any): lets the timer detect that the
+    // waiter was already served without touching the (possibly destroyed)
+    // awaiter frame.
+    std::shared_ptr<bool> settled;
   };
 
   struct RecvAwaiter {
@@ -79,6 +93,50 @@ class Channel {
     }
     T await_resume() { return std::move(*me.slot); }
   };
+
+  struct TimedRecvAwaiter {
+    Channel& ch;
+    Time deadline;
+    Waiter me{};
+
+    bool await_ready() {
+      if (!ch.items_.empty()) {
+        me.slot.emplace(std::move(ch.items_.front()));
+        ch.items_.pop_front();
+        return true;
+      }
+      return ch.sim_->now() >= deadline;  // resumes with nullopt
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      me.h = h;
+      me.settled = std::make_shared<bool>(false);
+      ch.waiters_.push_back(&me);
+      Channel* c = &ch;
+      Waiter* w = &me;
+      std::shared_ptr<bool> settled = me.settled;
+      // `settled` doubles as the timer's cancellation token: a delivery (or
+      // the awaiter's own resumption) disarms the timer, and a cancelled
+      // timer is dropped from the event queue without advancing the clock.
+      ch.sim_->call_at_cancellable(
+          deadline,
+          [c, w, settled, h] {
+            if (*settled) return;  // value arrived first; frame may be gone
+            *settled = true;
+            c->remove_waiter(w);
+            h.resume();  // slot still empty -> await_resume yields nullopt
+          },
+          settled);
+    }
+    std::optional<T> await_resume() {
+      if (me.settled) *me.settled = true;  // beat the timer; disarm it
+      return std::move(me.slot);
+    }
+  };
+
+  void remove_waiter(Waiter* w) {
+    auto it = std::find(waiters_.begin(), waiters_.end(), w);
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
 
   Simulator* sim_;
   std::deque<T> items_;

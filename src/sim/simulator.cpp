@@ -2,7 +2,19 @@
 
 namespace sparker::sim {
 
+void Simulator::purge_cancelled() {
+  // Cancelled timers are discarded without running and without advancing
+  // the clock — a disarmed timeout must not stretch the simulation's end
+  // time when the queue drains.
+  while (!events_.empty()) {
+    const Event& top = events_.top();
+    if (!top.cancelled || !*top.cancelled) return;
+    events_.pop();
+  }
+}
+
 bool Simulator::step() {
+  purge_cancelled();
   if (events_.empty()) return false;
   // std::priority_queue::top is const; the event must be moved out, so copy
   // the POD bits and move the callable via const_cast, which is safe because
@@ -27,9 +39,11 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t n = 0;
+  purge_cancelled();
   while (!events_.empty() && events_.top().t <= deadline) {
     step();
     ++n;
+    purge_cancelled();
   }
   if (now_ < deadline && events_.empty()) now_ = deadline;
   return n;

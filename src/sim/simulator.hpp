@@ -3,6 +3,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -30,7 +31,7 @@ class Simulator {
 
   /// Schedules a coroutine resumption at absolute time `t` (>= now).
   void schedule_at(Time t, std::coroutine_handle<> h) {
-    events_.push(Event{clamp_future(t), next_seq_++, h, {}});
+    events_.push(Event{clamp_future(t), next_seq_++, h, {}, {}});
   }
 
   /// Schedules a coroutine resumption at the current time (runs after all
@@ -39,7 +40,28 @@ class Simulator {
 
   /// Schedules a plain callback at absolute time `t`.
   void call_at(Time t, std::function<void()> fn) {
-    events_.push(Event{clamp_future(t), next_seq_++, nullptr, std::move(fn)});
+    events_.push(
+        Event{clamp_future(t), next_seq_++, nullptr, std::move(fn), {}});
+  }
+
+  /// Token for a cancellable timer: set `*token = true` (or use `cancel`)
+  /// and the pending event is discarded without running and — crucially for
+  /// a drained-queue simulation — without advancing the virtual clock.
+  using TimerHandle = std::shared_ptr<bool>;
+
+  /// Schedules a cancellable callback at absolute time `t`. Pass an existing
+  /// token to tie several timers to one cancellation flag (e.g. a timeout
+  /// disarmed by the event it guards); otherwise a fresh token is returned.
+  TimerHandle call_at_cancellable(Time t, std::function<void()> fn,
+                                  TimerHandle token = nullptr) {
+    if (!token) token = std::make_shared<bool>(false);
+    events_.push(
+        Event{clamp_future(t), next_seq_++, nullptr, std::move(fn), token});
+    return token;
+  }
+
+  static void cancel(const TimerHandle& token) {
+    if (token) *token = true;
   }
 
   /// Schedules a plain callback after `d` nanoseconds.
@@ -106,6 +128,7 @@ class Simulator {
     std::uint64_t seq;
     std::coroutine_handle<> h;
     std::function<void()> fn;
+    TimerHandle cancelled;  ///< null for non-cancellable events.
   };
 
   struct EventOrder {
@@ -117,6 +140,7 @@ class Simulator {
 
   Time clamp_future(Time t) const noexcept { return t < now_ ? now_ : t; }
 
+  void purge_cancelled();
   bool step();
 
   Time now_ = 0;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/aggregator.hpp"
 #include "net/cluster.hpp"
 #include "ser/byte_buffer.hpp"
 #include "ser/codec.hpp"
@@ -66,6 +67,29 @@ TEST(ByteBuffer, EmptyVector) {
   ByteBuffer b;
   b.write_vector(std::vector<std::int64_t>{});
   EXPECT_TRUE(b.read_vector<std::int64_t>().empty());
+}
+
+TEST(ByteBuffer, EmptyBuffer) {
+  ByteBuffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_THROW(b.read<std::uint8_t>(), std::runtime_error);
+  EXPECT_THROW(b.read_varint(), std::runtime_error);
+  b.rewind();  // rewinding an empty buffer is a no-op, not an error
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(ByteBuffer, SingleBytePayload) {
+  ByteBuffer b;
+  b.write<std::uint8_t>(0x5a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.read<std::uint8_t>(), 0x5a);
+  EXPECT_TRUE(b.exhausted());
+  b.clear();
+  b.write_vector(std::vector<std::uint8_t>{7});
+  const auto back = b.read_vector<std::uint8_t>();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], 7);
 }
 
 TEST(ByteBuffer, UnderrunThrows) {
@@ -134,6 +158,50 @@ TEST(Codec, CostModel) {
   EXPECT_EQ(deserialize_time(1'000'000'000ull, r), sim::seconds(1) / 2);
   EXPECT_EQ(merge_time(2'000'000'000ull, r), sim::seconds(1) / 2);
   EXPECT_EQ(serialize_time(0, r), 0u);
+}
+
+// Modeled payloads routinely exceed what fits in memory (the simulator
+// charges time for bytes it never materializes): sizes past 4 GiB must
+// survive the varint wire format and stay proportional in the cost model.
+TEST(Codec, ModeledSizesBeyond4GiB) {
+  const std::uint64_t five_gib = 5ull << 30;
+  ByteBuffer b;
+  b.write_varint(five_gib);
+  EXPECT_EQ(b.read_varint(), five_gib);
+
+  net::CostRates r;
+  r.ser_bw = 1e9;
+  r.deser_bw = 1e9;
+  r.merge_bw = 1e9;
+  const sim::Duration one = serialize_time(1ull << 30, r);
+  EXPECT_EQ(serialize_time(five_gib, r), one * 5);  // no 32-bit truncation
+  EXPECT_GT(serialize_time(five_gib, r), serialize_time((4ull << 30) - 1, r));
+  EXPECT_EQ(merge_time(five_gib, r), deserialize_time(five_gib, r));
+}
+
+// The gradient aggregator is the codec's real customer: its flat layout
+// must round-trip through the wire format exactly.
+static_assert(Serializable<ml::GradientAggregator>);
+
+TEST(Codec, GradientAggregatorRoundTrip) {
+  ml::GradientAggregator agg(/*dim=*/5);
+  for (int i = 0; i < 5; ++i) agg.grad()[i] = 1.5 * (i + 1);
+  agg.add_loss(3.25);
+  agg.add_count(17.0);
+  const ml::GradientAggregator back = roundtrip(agg);
+  EXPECT_EQ(back.flat, agg.flat);
+  EXPECT_EQ(back.dim(), 5);
+  EXPECT_DOUBLE_EQ(back.loss_sum(), 3.25);
+  EXPECT_DOUBLE_EQ(back.count(), 17.0);
+  EXPECT_EQ(agg.serialized_bytes(), agg.flat.size() * sizeof(double));
+}
+
+TEST(Codec, GradientAggregatorZeroDimRoundTrip) {
+  ml::GradientAggregator agg(/*dim=*/0);  // just [loss, count]
+  agg.add_loss(1.0);
+  const ml::GradientAggregator back = roundtrip(agg);
+  EXPECT_EQ(back.dim(), 0);
+  EXPECT_EQ(back.flat, agg.flat);
 }
 
 }  // namespace
