@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 using namespace sparker;
@@ -87,6 +88,7 @@ int main() {
                bench::fmt(1e3 * tree_reduce_seconds(spec, 24, sz.bytes), 2)});
   }
   t.print();
+  bench::JsonReport("ablation_collectives").add_table("results", t).write();
   std::printf(
       "\nSmall messages: log-step algorithms (halving/tree) win on latency."
       "\nLarge messages: bandwidth-optimal ring/pairwise win by a wide "

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "data/presets.hpp"
 #include "engine/cluster.hpp"
@@ -76,6 +77,7 @@ int main() {
     row("Sparker+AR", ar);
   }
   t.print();
+  bench::JsonReport("ablation_driver_bottleneck").add_table("results", t).write();
   std::printf(
       "\nThe allreduce variant removes the driver collect and the "
       "per-iteration 437 MB broadcast; its advantage over plain Sparker "

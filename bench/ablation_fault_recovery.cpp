@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
@@ -196,6 +197,13 @@ int main() {
                bench::fmt_times(total_s / base_s, 2)});
   }
   t.print();
+  bench::JsonReport("ablation_fault_recovery")
+      .set("nodes", kNodes)
+      .set("partitions", kParts)
+      .set("aggregator_bytes", static_cast<std::uint64_t>(kDim) * 8 * kScale)
+      .set("baseline_s", base_s)
+      .add_table("results", t)
+      .write();
 
   std::printf(
       "\nEvery faulted run returns the bit-identical fault-free value; the "

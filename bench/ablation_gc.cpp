@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 using namespace sparker;
@@ -41,6 +42,11 @@ int main() {
   const double without = bench::reduce_scatter_seconds(gc_off, opt);
   std::printf("  gc on: %.3f s   gc off: %.3f s   overhead %.1f%%\n",
               with_gc, without, 100.0 * (with_gc - without) / without);
+  bench::JsonReport("ablation_gc")
+      .add_table("throughput", t)
+      .set("rs_gc_on_s", with_gc)
+      .set("rs_gc_off_s", without)
+      .write();
   std::printf(
       "\nGC pauses are why the paper's Figure 13 curves wobble at large "
       "sizes and why a native (MPI) transport stays smooth.\n");

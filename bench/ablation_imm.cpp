@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
@@ -86,6 +87,10 @@ int main() {
                 bench::fmt_times(tree / imm, 2)});
   }
   t2.print();
+  bench::JsonReport("ablation_imm")
+      .add_table("tasks_per_executor", t)
+      .add_table("aggregator_size", t2)
+      .write();
   std::printf(
       "\nIMM's gain appears only with >1 task per executor and grows with "
       "aggregator size — it removes per-task serialization and shrinks the "

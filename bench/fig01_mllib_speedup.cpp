@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -41,6 +42,7 @@ int main() {
                trend});
   }
   t.print();
+  bench::JsonReport("fig01_mllib_speedup").add_table("results", t).write();
   std::printf(
       "\nmeasured: average speedup %.2fx (paper 1.25x); LDA-N %.2fx (paper "
       "2.49x); LR-K %.2fx (paper 0.73x); perfect would be 8x\n",

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -38,6 +39,7 @@ int main() {
                bench::fmt(agg_pct, 1)});
   }
   t.print();
+  bench::JsonReport("fig02_time_breakdown").add_table("results", t).write();
   std::printf(
       "\nmeasured: geometric-mean aggregation share %.1f%% (paper 67.69%%)\n",
       std::exp(log_sum / n));

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -41,6 +42,7 @@ int main() {
                bench::fmt(pct, 1)});
   }
   t.print();
+  bench::JsonReport("fig04_lda_scaling_aws").add_table("results", t).write();
   std::printf(
       "\nmeasured 8->960 cores: compute shrinks %.2fx (paper 4.66x); "
       "reduction grows %.2fx (paper 4.22x); reduction share %.1f%% -> "

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 int main() {
@@ -50,6 +51,7 @@ int main() {
     t.add_row(std::move(row));
   }
   t.print();
+  bench::JsonReport("fig13_p2p_throughput").add_table("results", t).write();
   std::printf(
       "\nmeasured peaks: SC(p=4) %.1f MB/s (%.1f%% of MPI %.1f MB/s)\n"
       "paper:          SC(p=4) 1151.8 MB/s (97.1%% of MPI 1185.4 MB/s)\n",

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 int main() {
@@ -36,6 +37,7 @@ int main() {
                bench::fmt(naive, 2)});
   }
   t.print();
+  bench::JsonReport("fig14_rs_parallelism").add_table("results", t).write();
   std::printf(
       "\nmeasured: 8-par speedup over 1-par %.2fx (paper 3.06x); "
       "topology-awareness speedup at p=8 %.2fx (paper 2.76x)\n",

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 int main() {
@@ -56,6 +57,7 @@ int main() {
                bench::fmt(mpi_big, 1)});
   }
   t.print();
+  bench::JsonReport("fig15_rs_scalability").add_table("results", t).write();
   std::printf(
       "\nmeasured: SC 256MB 6->48 executors grows %.2fx (paper 1.27x); "
       "SC 256KB grows %.2fx (paper 5.30x)\n",

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 int main() {
@@ -27,6 +28,7 @@ int main() {
   const SizeCase sizes[] = {
       {"1KB", 1ull << 10}, {"8MB", 8ull << 20}, {"256MB", 256ull << 20}};
 
+  bench::JsonReport report("fig16_aggregation");
   double split_1node_256 = 0, split_8node_256 = 0;
   double tree_8node_256 = 0, imm_8node_256 = 0;
   double tree_8node_8m = 0, split_8node_8m = 0;
@@ -62,6 +64,7 @@ int main() {
                  bench::fmt_times(tree / split, 2)});
     }
     t.print();
+    report.add_table(sz.label, t);
   }
 
   std::printf(
@@ -71,5 +74,10 @@ int main() {
       "1.12x)\n",
       tree_8node_8m / split_8node_8m, tree_8node_256 / split_8node_256,
       tree_8node_256 / imm_8node_256, split_8node_256 / split_1node_256);
+  report.set("split_speedup_8mb_8node", tree_8node_8m / split_8node_8m)
+      .set("split_speedup_256mb_8node", tree_8node_256 / split_8node_256)
+      .set("imm_speedup_256mb_8node", tree_8node_256 / imm_8node_256)
+      .set("split_scaling_256mb", split_8node_256 / split_1node_256)
+      .write();
   return 0;
 }

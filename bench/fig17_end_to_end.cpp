@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -29,6 +30,7 @@ int main() {
       {"AWS", net::ClusterSpec::aws(10), 10, 1.81},
   };
 
+  bench::JsonReport report("fig17_end_to_end");
   for (const auto& c : cases) {
     std::printf("\n--- %s ---\n", c.name);
     bench::Table t({"workload", "Spark (s)", "Sparker (s)", "speedup"});
@@ -58,6 +60,9 @@ int main() {
         "(paper: SVM-K, %.2fx)\n",
         c.name, std::exp(log_sum / n), c.paper_geomean, best_name.c_str(),
         best, c.paper_geomean == 1.60 ? 2.62 : 3.69);
+    report.add_table(c.name, t);
+    report.set(std::string(c.name) + "_geomean", std::exp(log_sum / n));
   }
+  report.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util/runners.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -43,6 +44,7 @@ int main() {
                bench::fmt_times(reduce_speedup, 2)});
   }
   t.print();
+  bench::JsonReport("fig18_sparker_scaling").add_table("results", t).write();
   std::printf(
       "\nmeasured: reduction speedup %.2fx at 8 cores (paper 4.19x) growing "
       "to %.2fx at 960 cores (paper 7.22x)\n",

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util/table.hpp"
+
+/// \file json.hpp
+/// Machine-readable bench output. Every figure/ablation binary writes a
+/// `BENCH_<name>.json` next to its stdout table so sweeps can be collected
+/// and plotted without scraping text: a flat object of config scalars plus
+/// one array of row objects per printed table. Cells that parse as numbers
+/// are emitted unquoted; everything else is a JSON string.
+
+namespace sparker::bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// True if the whole cell parses as a finite JSON-representable number
+/// ("12", "-3.25", "1e6" — but not "1.50x", "4 MiB", or "").
+inline bool is_numeric_cell(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  return s.find_first_of("nN") == std::string::npos;  // reject nan/inf forms
+}
+
+inline std::string json_cell(const std::string& s) {
+  if (is_numeric_cell(s)) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  out += json_escape(s);
+  out.push_back('"');
+  return out;
+}
+
+/// Accumulates config scalars and result tables, then writes
+/// `BENCH_<name>.json` in the working directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  JsonReport& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, json_cell(value));
+    return *this;
+  }
+  JsonReport& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  JsonReport& set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonReport& set(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonReport& set(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonReport& set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  /// Adds a printed table as `key: [ {header: cell, ...}, ... ]`.
+  JsonReport& add_table(const std::string& key, const Table& t) {
+    std::string out = "[";
+    bool first_row = true;
+    for (const auto& row : t.rows()) {
+      if (!first_row) out += ",";
+      first_row = false;
+      out += "\n    {";
+      for (std::size_t c = 0; c < row.size() && c < t.headers().size(); ++c) {
+        if (c > 0) out += ", ";
+        out.push_back('"');
+        out += json_escape(t.headers()[c]);
+        out += "\": ";
+        out += json_cell(row[c]);
+      }
+      out += "}";
+    }
+    out += "\n  ]";
+    fields_.emplace_back(key, std::move(out));
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", json_escape(name_).c_str());
+    for (const auto& [k, v] : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", json_escape(k).c_str(), v.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  // Key -> pre-rendered JSON value, in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace sparker::bench

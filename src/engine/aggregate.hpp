@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -71,8 +72,13 @@ struct AggMetrics {
   /// Attempts the SpawnRDD ring stage took (1 = fault-free).
   int ring_stage_attempts = 0;
   /// Simulated time lost to failed ring-stage attempts: wasted collective
-  /// work, lost-partial recomputation, backoff, and rescheduling.
+  /// work, lost-partial recomputation, detection wait, backoff, and
+  /// rescheduling.
   Duration recovery_time = 0;
+  /// Speculative execution: duplicate attempts launched for straggling
+  /// tasks, and how many of those duplicates finished before the original.
+  int speculative_launches = 0;
+  int speculative_wins = 0;
 
   Duration compute_time() const { return compute_done - start; }
   Duration reduce_time() const { return end - compute_done; }
@@ -104,28 +110,41 @@ struct Blob {
 /// defaults to 1 MiB).
 inline constexpr std::uint64_t kDirectResultLimit = 1ull << 20;
 
+/// TaskId::attempt value marking speculative duplicates, far above any real
+/// retry count so fault plans keyed on attempt numbers stay inert for them.
+inline constexpr int kSpeculativeAttempt = 1 << 20;
+
 /// Picks the executor a task actually runs on: the preferred one, or — if
-/// the fault fabric killed it — the next alive executor in a deterministic
-/// scan (Spark reschedules lost tasks on surviving executors).
+/// the driver's health view rules it out (believed dead, or quarantined) —
+/// the next usable executor in a deterministic scan (Spark reschedules lost
+/// tasks on surviving executors). Note this consults the *health view*, not
+/// the omniscient fault fabric: with heartbeats enabled a dead-but-undetected
+/// executor still gets tasks, which then fail and retry — detection latency
+/// costs real simulated time, as it does in Spark.
 inline int schedule_executor(Cluster& cl, int preferred) {
-  if (cl.executor_alive(preferred)) return preferred;
+  if (cl.executor_usable(preferred)) return preferred;
   const int n = cl.num_executors();
   for (int i = 1; i < n; ++i) {
     const int cand = (preferred + i) % n;
-    if (cl.executor_alive(cand)) return cand;
+    if (cl.executor_usable(cand)) return cand;
   }
-  throw std::runtime_error("no live executor to schedule task on");
+  throw std::runtime_error("no usable executor to schedule task on");
 }
 
 /// Dispatch + control hop + core slot + task setup, then the real seqOp
 /// fold over the partition. Throws TaskFailed per the fault plan, or when
-/// the fault fabric kills the executor before the task result is reported.
-/// If `ran_on` is non-null it receives the executor the task ran on.
+/// the fault fabric kills the executor before the task result is reported
+/// (that check is deliberately omniscient: a lost result is a physical
+/// fact, not a belief). If `ran_on` is non-null it receives the executor
+/// the task ran on; `force_exec >= 0` pins the attempt to one executor
+/// (speculative duplicates bypass locality preference).
 template <typename T, typename U>
 sim::Task<U> compute_attempt(Cluster& cl, CachedRdd<T>& rdd,
                              const TreeAggSpec<T, U>& spec, TaskId id,
-                             int* ran_on = nullptr) {
-  const int exec_id = schedule_executor(cl, rdd.preferred_executor(id.task));
+                             int* ran_on = nullptr, int force_exec = -1) {
+  const int exec_id =
+      force_exec >= 0 ? force_exec
+                      : schedule_executor(cl, rdd.preferred_executor(id.task));
   if (ran_on) *ran_on = exec_id;
   Executor& ex = cl.executor(exec_id);
   const Time dispatched =
@@ -159,10 +178,14 @@ sim::Task<U> compute_with_retry(Cluster& cl, CachedRdd<T>& rdd,
                                 int task, AggMetrics* m, int stage = 0,
                                 int* ran_on = nullptr) {
   for (int attempt = 0;; ++attempt) {
+    int exec = -1;
     try {
-      co_return co_await compute_attempt(
-          cl, rdd, spec, TaskId{job, stage, task, attempt}, ran_on);
+      U out = co_await compute_attempt(
+          cl, rdd, spec, TaskId{job, stage, task, attempt}, &exec);
+      if (ran_on) *ran_on = exec;
+      co_return out;
     } catch (const TaskFailed&) {
+      if (exec >= 0) cl.health().record_failure(exec);
       if (m) ++m->task_retries;
       if (attempt + 1 >= cl.config().max_task_attempts) {
         throw std::runtime_error("task exceeded max attempts; job aborted");
@@ -171,16 +194,104 @@ sim::Task<U> compute_with_retry(Cluster& cl, CachedRdd<T>& rdd,
   }
 }
 
-/// Plain compute stage: one serialized result per partition.
+/// Shared state of one stage's speculation races, shared_ptr-owned because
+/// *losing* attempts can outlive the stage (and even the job) coroutine
+/// frames: a loser resumes from its final sleep after the stage has moved
+/// on, and may touch only this object plus the job-level attempts
+/// WaitGroup — never stage-frame state. The first attempt to `claim` a
+/// task wins it; everyone else drops out.
+struct SpecRace {
+  struct TaskState {
+    Time launched = 0;      ///< when the stage spawned the primary.
+    bool done = false;      ///< some attempt claimed this task.
+    bool speculated = false;  ///< a duplicate was launched.
+    int primary_exec = -1;  ///< executor the primary attempt landed on.
+  };
+  std::vector<TaskState> tasks;
+  std::vector<Duration> durations;  ///< winners' durations (for the median).
+  sim::Simulator::TimerHandle tick = std::make_shared<bool>(false);
+
+  explicit SpecRace(int p) : tasks(static_cast<std::size_t>(p)) {}
+
+  bool claim(int t) {
+    TaskState& ts = tasks[static_cast<std::size_t>(t)];
+    if (ts.done) return false;
+    ts.done = true;
+    return true;
+  }
+
+  Duration running_median() const {
+    std::vector<Duration> d = durations;
+    const std::size_t mid = d.size() / 2;
+    std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(mid),
+                     d.end());
+    return d[mid];
+  }
+};
+
+/// Arms the stage's speculation monitor: every `speculation_interval` it
+/// looks for tasks running longer than `speculation_multiplier` x the
+/// running median of completed durations (once `speculation_quantile` of
+/// the stage has completed) and calls `launch(task, target)` with the first
+/// *healthy* executor other than the primary's, in a deterministic scan.
+/// `launch` may capture stage-frame state: the tick must be cancelled
+/// (`Simulator::cancel(race->tick)`) before the stage frame exits, and
+/// cancelled events never run.
+inline void arm_speculation_tick(
+    Cluster& cl, std::shared_ptr<SpecRace> race,
+    std::shared_ptr<std::function<void(int, int)>> launch, Time at) {
+  cl.simulator().call_at_cancellable(
+      at,
+      [&cl, race, launch, at] {
+        const HealthConfig& h = cl.config().health;
+        const int p = static_cast<int>(race->tasks.size());
+        const int need = std::max(
+            1, static_cast<int>(std::ceil(h.speculation_quantile *
+                                          static_cast<double>(p))));
+        if (static_cast<int>(race->durations.size()) >= need) {
+          const auto threshold = static_cast<Duration>(
+              h.speculation_multiplier *
+              static_cast<double>(race->running_median()));
+          const Time now = cl.simulator().now();
+          for (int t = 0; t < p; ++t) {
+            SpecRace::TaskState& ts =
+                race->tasks[static_cast<std::size_t>(t)];
+            if (ts.done || ts.speculated || ts.primary_exec < 0) continue;
+            if (now - ts.launched <= threshold) continue;
+            int target = -1;
+            for (int e = 0; e < cl.num_executors(); ++e) {
+              if (e != ts.primary_exec && cl.health().healthy(e)) {
+                target = e;
+                break;
+              }
+            }
+            if (target < 0) continue;  // nowhere healthy to duplicate onto.
+            ts.speculated = true;
+            (*launch)(t, target);
+          }
+        }
+        arm_speculation_tick(cl, race, launch, at + h.speculation_interval);
+      },
+      race->tick);
+}
+
+/// Plain compute stage: one serialized result per partition. When
+/// speculation is enabled (`attempts_wg` non-null and
+/// `health.speculation` on), each task becomes a race: the monitor tick
+/// may launch one duplicate attempt on a healthy executor, the first
+/// finisher claims the task, and losers drop out touching only the shared
+/// race state (the job drains them through `attempts_wg` before its frame
+/// dies).
 template <typename T, typename U>
 sim::Task<std::vector<Blob<U>>> compute_stage_plain(
     Cluster& cl, CachedRdd<T>& rdd, const TreeAggSpec<T, U>& spec, int job,
-    AggMetrics* m) {
+    AggMetrics* m, sim::WaitGroup* attempts_wg = nullptr) {
   const int p = rdd.num_partitions();
   std::vector<Blob<U>> out(static_cast<std::size_t>(p));
   sim::WaitGroup wg(cl.simulator());
   wg.add(p);
   std::exception_ptr error;
+  const bool speculate = attempts_wg && cl.config().health.speculation;
   struct Worker {
     static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
                               const TreeAggSpec<T, U>& spec, int job, int task,
@@ -203,12 +314,113 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
       wg.done();
     }
   };
-  for (int t = 0; t < p; ++t) {
-    cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t,
-                                    out[static_cast<std::size_t>(t)], m, wg,
-                                    error));
+  /// One racing attempt (primary or speculative duplicate). Only the
+  /// claiming winner touches stage-frame state (slot, wg, error, m); a
+  /// loser resumes later — possibly after the stage frame is gone — and
+  /// touches only `race` and `attempts`.
+  struct RaceWorker {
+    static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
+                              const TreeAggSpec<T, U>& spec, int job, int task,
+                              int force_exec, std::shared_ptr<SpecRace> race,
+                              Blob<U>& slot, AggMetrics* m, sim::WaitGroup& wg,
+                              sim::WaitGroup& attempts,
+                              std::exception_ptr& error) {
+      const bool speculative = force_exec >= 0;
+      SpecRace::TaskState& ts = race->tasks[static_cast<std::size_t>(task)];
+      std::optional<U> agg;
+      int ran_exec = -1;
+      if (speculative) {
+        try {
+          agg.emplace(co_await compute_attempt(
+              cl, rdd, spec, TaskId{job, 0, task, kSpeculativeAttempt},
+              &ran_exec, force_exec));
+        } catch (...) {
+          // A failed duplicate loses quietly: the primary is still racing.
+        }
+      } else {
+        for (int attempt = 0;; ++attempt) {
+          try {
+            agg.emplace(co_await compute_attempt(
+                cl, rdd, spec, TaskId{job, 0, task, attempt},
+                &ts.primary_exec));
+            ran_exec = ts.primary_exec;
+            break;
+          } catch (const TaskFailed&) {
+            if (ts.done) break;  // the duplicate already won; stop retrying.
+            cl.health().record_failure(ts.primary_exec);
+            if (m) ++m->task_retries;
+            if (attempt + 1 >= cl.config().max_task_attempts) {
+              if (race->claim(task)) {
+                if (!error) {
+                  error = std::make_exception_ptr(std::runtime_error(
+                      "task exceeded max attempts; job aborted"));
+                }
+                wg.done();
+              }
+              attempts.done();
+              co_return;
+            }
+          }
+        }
+      }
+      if (!agg || !race->claim(task)) {
+        attempts.done();
+        co_return;  // lost the race.
+      }
+      race->durations.push_back(cl.simulator().now() - ts.launched);
+      if (speculative) {
+        if (m) ++m->speculative_wins;
+        if (ts.primary_exec >= 0) cl.health().record_straggler(ts.primary_exec);
+      }
+      try {
+        const std::uint64_t nbytes = spec.bytes(*agg);
+        co_await cl.simulator().sleep(cl.ser_time(nbytes));
+        co_await cl.simulator().sleep(cl.control_latency(ran_exec));
+        (void)cl.driver_loop().enqueue(sim::microseconds(50));
+        slot = Blob<U>{std::make_shared<U>(std::move(*agg)), nbytes, ran_exec,
+                       /*serialized=*/true};
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      wg.done();
+      attempts.done();
+    }
+  };
+  if (!speculate) {
+    for (int t = 0; t < p; ++t) {
+      cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t,
+                                      out[static_cast<std::size_t>(t)], m, wg,
+                                      error));
+    }
+    co_await wg.wait();
+  } else {
+    auto race = std::make_shared<SpecRace>(p);
+    const Time t0 = cl.simulator().now();
+    for (int t = 0; t < p; ++t) {
+      race->tasks[static_cast<std::size_t>(t)].launched = t0;
+      attempts_wg->add(1);
+      cl.simulator().spawn(RaceWorker::go(cl, rdd, spec, job, t, -1, race,
+                                          out[static_cast<std::size_t>(t)], m,
+                                          wg, *attempts_wg, error));
+    }
+    auto launch = std::make_shared<std::function<void(int, int)>>(
+        [&cl, &rdd, &spec, job, race, &out, m, &wg, attempts_wg,
+         &error](int task, int target) {
+          if (m) ++m->speculative_launches;
+          attempts_wg->add(1);
+          cl.simulator().spawn(RaceWorker::go(
+              cl, rdd, spec, job, task, target, race,
+              out[static_cast<std::size_t>(task)], m, wg, *attempts_wg,
+              error));
+        });
+    arm_speculation_tick(cl, race, launch,
+                         t0 + cl.config().health.speculation_interval);
+    co_await wg.wait();
+    sim::Simulator::cancel(race->tick);
+    // On an error path, drain all attempts *before* throwing: zombies must
+    // not outlive the frames they reference.
+    if (error) co_await attempts_wg->wait();
   }
-  co_await wg.wait();
   if (error) std::rethrow_exception(error);
   co_return out;
 }
@@ -223,8 +435,10 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
 template <typename T, typename U>
 sim::Task<std::vector<Blob<U>>> compute_stage_imm(
     Cluster& cl, CachedRdd<T>& rdd, const TreeAggSpec<T, U>& spec, int job,
-    AggMetrics* m, std::vector<int>* task_exec = nullptr) {
+    AggMetrics* m, std::vector<int>* task_exec = nullptr,
+    sim::WaitGroup* attempts_wg = nullptr) {
   const int p = rdd.num_partitions();
+  const bool speculate = attempts_wg && cl.config().health.speculation;
   for (int stage_attempt = 0;; ++stage_attempt) {
     const std::int64_t key = static_cast<std::int64_t>(job);
     bool failed = false;
@@ -238,8 +452,8 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
                                 int task, int attempt, std::int64_t key,
                                 bool& failed, int& ran_on, sim::WaitGroup& wg,
                                 std::exception_ptr& error) {
+        int exec_id = -1;
         try {
-          int exec_id = -1;
           U agg = co_await compute_attempt(
               cl, rdd, spec, TaskId{job, 0, task, attempt}, &exec_id);
           ran_on = exec_id;
@@ -256,20 +470,130 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
           (void)cl.driver_loop().enqueue(sim::microseconds(20));
         } catch (const TaskFailed&) {
           failed = true;
+          if (exec_id >= 0) cl.health().record_failure(exec_id);
         } catch (...) {
           if (!error) error = std::current_exception();
         }
         wg.done();
       }
     };
-    for (int t = 0; t < p; ++t) {
-      cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t, stage_attempt,
-                                      key, failed,
-                                      ran_on[static_cast<std::size_t>(t)], wg,
-                                      error));
+    /// Racing IMM attempt. The *claim happens before the merge*: exactly
+    /// one attempt per task ever merges into the executor's shared value,
+    /// which is what keeps speculation idempotent under IMM. Losers (and
+    /// zombies from a previous, failed stage attempt — whose race object
+    /// they keep alive) never merge and never touch stage-frame state.
+    struct RaceWorker {
+      static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
+                                const TreeAggSpec<T, U>& spec, int job,
+                                int task, int stage_attempt, int force_exec,
+                                std::shared_ptr<SpecRace> race,
+                                std::int64_t key, bool& failed, int& ran_on,
+                                AggMetrics* m, sim::WaitGroup& wg,
+                                sim::WaitGroup& attempts,
+                                std::exception_ptr& error) {
+        const bool speculative = force_exec >= 0;
+        SpecRace::TaskState& ts = race->tasks[static_cast<std::size_t>(task)];
+        std::optional<U> agg;
+        int exec_id = -1;
+        const int attempt = speculative ? kSpeculativeAttempt + stage_attempt
+                                        : stage_attempt;
+        try {
+          if (speculative) {
+            agg.emplace(co_await compute_attempt(
+                cl, rdd, spec, TaskId{job, 0, task, attempt}, &exec_id,
+                force_exec));
+          } else {
+            agg.emplace(co_await compute_attempt(
+                cl, rdd, spec, TaskId{job, 0, task, attempt},
+                &ts.primary_exec));
+            exec_id = ts.primary_exec;
+          }
+        } catch (const TaskFailed&) {
+          // A failed duplicate loses quietly; a failed primary restarts the
+          // stage (IMM has no task-level recovery) — unless its duplicate
+          // already won, in which case speculation just saved the stage.
+          if (!speculative && race->claim(task)) {
+            cl.health().record_failure(ts.primary_exec);
+            failed = true;
+            wg.done();
+          }
+          attempts.done();
+          co_return;
+        } catch (...) {
+          if (!speculative && race->claim(task)) {
+            if (!error) error = std::current_exception();
+            wg.done();
+          }
+          attempts.done();
+          co_return;
+        }
+        if (!race->claim(task)) {
+          attempts.done();
+          co_return;  // lost the race: never merge.
+        }
+        race->durations.push_back(cl.simulator().now() - ts.launched);
+        if (speculative) {
+          if (m) ++m->speculative_wins;
+          if (ts.primary_exec >= 0) {
+            cl.health().record_straggler(ts.primary_exec);
+          }
+        }
+        try {
+          Executor& ex = cl.executor(exec_id);
+          auto& obj = ex.mutable_object(key, cl.simulator());
+          co_await obj.lock->acquire();
+          sim::SemaphoreGuard g(*obj.lock);
+          if (!obj.value) obj.value = std::make_shared<U>(spec.zero);
+          co_await cl.simulator().sleep(cl.merge_cost(spec.bytes(*agg)));
+          spec.comb_op(*std::static_pointer_cast<U>(obj.value), *agg);
+          ++obj.merges;
+          co_await cl.simulator().sleep(cl.control_latency(exec_id));
+          (void)cl.driver_loop().enqueue(sim::microseconds(20));
+          ran_on = exec_id;
+        } catch (...) {
+          if (!error) error = std::current_exception();
+        }
+        wg.done();
+        attempts.done();
+      }
+    };
+    std::shared_ptr<SpecRace> race;
+    if (!speculate) {
+      for (int t = 0; t < p; ++t) {
+        cl.simulator().spawn(Worker::go(cl, rdd, spec, job, t, stage_attempt,
+                                        key, failed,
+                                        ran_on[static_cast<std::size_t>(t)],
+                                        wg, error));
+      }
+    } else {
+      race = std::make_shared<SpecRace>(p);
+      const Time t0 = cl.simulator().now();
+      for (int t = 0; t < p; ++t) {
+        race->tasks[static_cast<std::size_t>(t)].launched = t0;
+        attempts_wg->add(1);
+        cl.simulator().spawn(RaceWorker::go(
+            cl, rdd, spec, job, t, stage_attempt, -1, race, key, failed,
+            ran_on[static_cast<std::size_t>(t)], m, wg, *attempts_wg, error));
+      }
+      auto launch = std::make_shared<std::function<void(int, int)>>(
+          [&cl, &rdd, &spec, job, stage_attempt, race, key, &failed, &ran_on,
+           m, &wg, attempts_wg, &error](int task, int target) {
+            if (m) ++m->speculative_launches;
+            attempts_wg->add(1);
+            cl.simulator().spawn(RaceWorker::go(
+                cl, rdd, spec, job, task, stage_attempt, target, race, key,
+                failed, ran_on[static_cast<std::size_t>(task)], m, wg,
+                *attempts_wg, error));
+          });
+      arm_speculation_tick(cl, race, launch,
+                           t0 + cl.config().health.speculation_interval);
     }
     co_await wg.wait();
-    if (error) std::rethrow_exception(error);
+    if (race) sim::Simulator::cancel(race->tick);
+    if (error) {
+      if (speculate) co_await attempts_wg->wait();
+      std::rethrow_exception(error);
+    }
     if (!failed) {
       // An executor that died after absorbing partials loses them: that is
       // a stage failure too (no task-level recovery under IMM).
@@ -300,6 +624,7 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
       cl.executor(e).clear_mutable_object(key);
     }
     if (stage_attempt + 1 >= cl.config().max_stage_attempts) {
+      if (speculate) co_await attempts_wg->wait();
       throw std::runtime_error("stage exceeded max attempts; job aborted");
     }
   }
@@ -413,14 +738,22 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->stage_restarts = 0;
   m->ring_stage_attempts = 0;
   m->recovery_time = 0;
+  m->speculative_launches = 0;
+  m->speculative_wins = 0;
+  HealthJobGuard health_guard(cl.health());
+  // Counts every racing attempt frame; drained before this frame dies so
+  // losing speculative attempts never outlive the state they reference.
+  sim::WaitGroup spec_attempts(cl.simulator());
 
   const bool imm = cl.config().agg_mode != AggMode::kTree;
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
   std::vector<detail::Blob<U>> blobs;
   if (imm) {
-    blobs = co_await detail::compute_stage_imm(cl, rdd, spec, job, m);
+    blobs = co_await detail::compute_stage_imm(cl, rdd, spec, job, m, nullptr,
+                                               &spec_attempts);
   } else {
-    blobs = co_await detail::compute_stage_plain(cl, rdd, spec, job, m);
+    blobs = co_await detail::compute_stage_plain(cl, rdd, spec, job, m,
+                                                 &spec_attempts);
   }
   m->compute_done = cl.simulator().now();
 
@@ -471,6 +804,9 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   U result = co_await detail::driver_reduce<U>(cl, std::move(blobs),
                                                spec.comb_op);
   m->end = cl.simulator().now();
+  // Drain losing speculative attempts (m->end is already recorded, so the
+  // job's measured time excludes zombies running out their last attempt).
+  co_await spec_attempts.wait();
   co_return result;
 }
 
@@ -498,13 +834,17 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->stage_restarts = 0;
   m->ring_stage_attempts = 0;
   m->recovery_time = 0;
+  m->speculative_launches = 0;
+  m->speculative_wins = 0;
+  HealthJobGuard health_guard(cl.health());
+  sim::WaitGroup spec_attempts(cl.simulator());
 
   // Stage 1: reduced-result stage; exactly one aggregator per executor.
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
   std::vector<int> task_exec;
   auto blobs =
       co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m,
-                                         &task_exec);
+                                         &task_exec, &spec_attempts);
   m->compute_done = cl.simulator().now();
 
   // Per-executor merged values, keyed by *executor id* (stable across
@@ -638,6 +978,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       co_await cl.simulator().sleep_until(done);
       V result = spec.concat_op(all_segs);
       m->end = cl.simulator().now();
+      co_await spec_attempts.wait();
       co_return result;
     } catch (const comm::CollectiveFailed&) {
       // Stage-level cleanup: the failed attempt's communicator (with any
@@ -649,9 +990,16 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     if (attempt_failed) {
       if (m) ++m->stage_restarts;
       if (ring_attempt >= cl.config().max_stage_attempts) {
+        co_await spec_attempts.wait();
         throw std::runtime_error(
             "ring stage exceeded max attempts; job aborted");
       }
+      // With heartbeats on, the driver cannot yet tell which member is dead
+      // — rebuilding immediately would re-include it and fail again. Wait
+      // out detection (bounded by executor_timeout); the wait lands in
+      // recovery_time, which is exactly what makes detection latency a
+      // measurable recovery component.
+      co_await cl.health().await_settled();
       // Exponential backoff before re-running the stage.
       const Duration backoff = cl.config().stage_retry_backoff
                                << (ring_attempt - 1);
@@ -683,73 +1031,148 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
   m->stage_restarts = 0;
   m->ring_stage_attempts = 0;
   m->recovery_time = 0;
+  m->speculative_launches = 0;
+  m->speculative_wins = 0;
+  HealthJobGuard health_guard(cl.health());
+  sim::WaitGroup spec_attempts(cl.simulator());
 
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-  auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m);
+  std::vector<int> task_exec;
+  auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m,
+                                                  &task_exec, &spec_attempts);
   m->compute_done = cl.simulator().now();
 
-  auto& sc = cl.scalable_comm();
-  const int n = sc.size();
-  std::vector<std::shared_ptr<U>> per_exec(
-      static_cast<std::size_t>(cl.num_executors()));
+  // Same recovery bookkeeping as split_aggregate: per-executor merged
+  // values keyed by executor id, plus the partitions that fed each one.
+  const int num_exec = cl.num_executors();
+  std::vector<std::shared_ptr<U>> per_exec(static_cast<std::size_t>(num_exec));
+  std::vector<std::vector<int>> owned(static_cast<std::size_t>(num_exec));
   for (auto& b : blobs) {
     per_exec[static_cast<std::size_t>(b.executor)] = b.value;
   }
-  for (auto& v : per_exec) {
-    if (!v) v = std::make_shared<U>(spec.base.zero);
+  for (int t = 0; t < rdd.num_partitions(); ++t) {
+    owned[static_cast<std::size_t>(task_exec[static_cast<std::size_t>(t)])]
+        .push_back(t);
   }
 
-  co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-  std::shared_ptr<V> result;
-  sim::WaitGroup wg(cl.simulator());
-  wg.add(n);
   struct AllreduceTask {
+    // `rank` is captured from the attempt's communicator build (deriving it
+    // here could trigger a mid-attempt rebuild — see RingTask). Any failure
+    // lands in `error` and the attempt retries at stage granularity; the
+    // catch-all is what keeps the WaitGroup complete (no silent hang) when
+    // a fault strikes mid-allreduce.
     static sim::Task<void> go(Cluster& cl, comm::Communicator& sc,
-                              int exec_id, const SplitAggSpec<T, U, V>& spec,
+                              int exec_id, int rank,
+                              const SplitAggSpec<T, U, V>& spec,
                               std::shared_ptr<U> local,
                               std::shared_ptr<V>& result,
-                              std::int64_t result_key, sim::WaitGroup& wg) {
-      const Time dispatched =
-          cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
-      co_await cl.simulator().sleep_until(dispatched);
-      co_await cl.simulator().sleep(cl.control_latency(exec_id));
-      Executor& ex = cl.executor(exec_id);
-      co_await ex.cores().acquire();
-      sim::SemaphoreGuard slot(ex.cores());
-      co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
-      co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
-      comm::SegOps<V> ops;
-      ops.split = [&spec, &local](int seg, int nseg) {
-        return spec.split_op(*local, seg, nseg);
-      };
-      ops.reduce_into = spec.reduce_op;
-      ops.bytes = spec.v_bytes;
-      ops.concat = spec.concat_op;
-      ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
-      const int rank = cl.rank_of_executor(exec_id);
-      V full = co_await comm::rabenseifner_allreduce<V>(sc, rank, ops);
-      // Assembling the replica is one pass over it.
-      co_await cl.simulator().sleep(cl.merge_cost(spec.v_bytes(full)));
-      // Only a digest (loss/status) travels to the driver.
-      co_await cl.simulator().sleep(cl.control_latency(exec_id));
-      (void)cl.driver_loop().enqueue(sim::microseconds(20));
-      if (rank == 0) result = std::make_shared<V>(full);
-      if (result_key >= 0) {
-        auto& obj = ex.mutable_object(result_key, cl.simulator());
-        obj.value = std::make_shared<V>(std::move(full));
+                              std::int64_t result_key, sim::WaitGroup& wg,
+                              std::exception_ptr& error) {
+      try {
+        const Time dispatched =
+            cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
+        co_await cl.simulator().sleep_until(dispatched);
+        co_await cl.simulator().sleep(cl.control_latency(exec_id));
+        Executor& ex = cl.executor(exec_id);
+        co_await ex.cores().acquire();
+        sim::SemaphoreGuard slot(ex.cores());
+        co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
+        co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
+        comm::SegOps<V> ops;
+        ops.split = [&spec, &local](int seg, int nseg) {
+          return spec.split_op(*local, seg, nseg);
+        };
+        ops.reduce_into = spec.reduce_op;
+        ops.bytes = spec.v_bytes;
+        ops.concat = spec.concat_op;
+        ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
+        V full = co_await comm::rabenseifner_allreduce<V>(sc, rank, ops);
+        if (!cl.executor_alive(exec_id)) {
+          throw comm::CollectiveFailed("executor died after allreduce");
+        }
+        // Assembling the replica is one pass over it.
+        co_await cl.simulator().sleep(cl.merge_cost(spec.v_bytes(full)));
+        // Only a digest (loss/status) travels to the driver.
+        co_await cl.simulator().sleep(cl.control_latency(exec_id));
+        (void)cl.driver_loop().enqueue(sim::microseconds(20));
+        if (rank == 0) result = std::make_shared<V>(full);
+        if (result_key >= 0) {
+          auto& obj = ex.mutable_object(result_key, cl.simulator());
+          obj.value = std::make_shared<V>(std::move(full));
+        }
+      } catch (...) {
+        if (!error) error = std::current_exception();
       }
       wg.done();
     }
   };
-  for (int r = 0; r < n; ++r) {
-    const int e = cl.executor_of_rank(r);
-    cl.simulator().spawn(AllreduceTask::go(
-        cl, sc, e, spec, per_exec[static_cast<std::size_t>(e)], result,
-        result_key, wg));
+
+  for (int ring_attempt = 1;; ++ring_attempt) {
+    m->ring_stage_attempts = ring_attempt;
+    const Time attempt_start = cl.simulator().now();
+    bool attempt_failed = false;
+    try {
+      co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
+      // Membership first, then refold against the same snapshot (see
+      // split_aggregate for why this order is load-bearing).
+      auto& sc = cl.scalable_comm();
+      for (int e = 0; e < num_exec; ++e) {
+        if (cl.rank_of_executor(e) >= 0 ||
+            owned[static_cast<std::size_t>(e)].empty()) {
+          continue;
+        }
+        const std::vector<int> lost =
+            std::move(owned[static_cast<std::size_t>(e)]);
+        owned[static_cast<std::size_t>(e)].clear();
+        per_exec[static_cast<std::size_t>(e)].reset();
+        for (int pid : lost) {
+          int ran_on = -1;
+          U agg = co_await detail::compute_with_retry(
+              cl, rdd, spec.base, job, pid, m, /*stage=*/1, &ran_on);
+          auto& dst = per_exec[static_cast<std::size_t>(ran_on)];
+          if (!dst) dst = std::make_shared<U>(spec.base.zero);
+          co_await cl.simulator().sleep(
+              cl.merge_cost(spec.base.bytes(agg)));
+          spec.base.comb_op(*dst, agg);
+          owned[static_cast<std::size_t>(ran_on)].push_back(pid);
+        }
+      }
+      const int n = sc.size();
+      std::shared_ptr<V> result;  // fresh per attempt: rank 0 sets it.
+      std::exception_ptr error;
+      sim::WaitGroup wg(cl.simulator());
+      wg.add(n);
+      for (int r = 0; r < n; ++r) {
+        const int e = cl.executor_of_rank(r);
+        auto localv = per_exec[static_cast<std::size_t>(e)];
+        if (!localv) localv = std::make_shared<U>(spec.base.zero);
+        cl.simulator().spawn(AllreduceTask::go(cl, sc, e, r, spec,
+                                               std::move(localv), result,
+                                               result_key, wg, error));
+      }
+      co_await wg.wait();
+      if (error) std::rethrow_exception(error);
+      m->end = cl.simulator().now();
+      co_await spec_attempts.wait();
+      co_return std::move(*result);
+    } catch (const comm::CollectiveFailed&) {
+      cl.invalidate_scalable_comm();
+      attempt_failed = true;
+    }
+    if (attempt_failed) {
+      if (m) ++m->stage_restarts;
+      if (ring_attempt >= cl.config().max_stage_attempts) {
+        co_await spec_attempts.wait();
+        throw std::runtime_error(
+            "allreduce stage exceeded max attempts; job aborted");
+      }
+      co_await cl.health().await_settled();
+      const Duration backoff = cl.config().stage_retry_backoff
+                               << (ring_attempt - 1);
+      co_await cl.simulator().sleep(backoff);
+      m->recovery_time += cl.simulator().now() - attempt_start;
+    }
   }
-  co_await wg.wait();
-  m->end = cl.simulator().now();
-  co_return std::move(*result);
 }
 
 }  // namespace sparker::engine

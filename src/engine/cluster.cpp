@@ -27,6 +27,9 @@ Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
         sim, info.executor_id, info.host, spec_.cores_per_executor,
         info.hostname));
   }
+  health_ = std::make_unique<HealthMonitor>(
+      sim, fabric_->faults(), num_executors(), cfg_.health,
+      [this](int e) { return control_latency(e); }, &driver_loop_);
   if (!cfg_.fault_schedule.empty()) arm_faults();
 }
 
@@ -53,12 +56,12 @@ void Cluster::arm_faults() {
   }
 }
 
-std::vector<int> Cluster::alive_executors() const {
-  std::vector<int> alive;
-  for (int e = 0; e < num_executors(); ++e) {
-    if (executor_alive(e)) alive.push_back(e);
-  }
-  return alive;
+std::vector<int> Cluster::ring_members() {
+  // The health view, not the omniscient fabric: a dead-but-undetected
+  // executor stays in the ring (and fails it again) until the heartbeat
+  // monitor declares it dead; a quarantined executor is excluded exactly
+  // like a dead one, and readmitted when the quarantine lapses.
+  return health_->usable_executors();
 }
 
 void Cluster::invalidate_scalable_comm() {
@@ -114,10 +117,11 @@ void Cluster::rebuild_comm() {
       comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
   std::vector<comm::ExecutorInfo> order;
   for (const auto& e : infos) {
-    if (executor_alive(e.executor_id)) order.push_back(e);
+    if (executor_usable(e.executor_id)) order.push_back(e);
   }
   if (order.empty()) {
-    throw std::runtime_error("all executors dead: cannot build communicator");
+    throw std::runtime_error(
+        "no usable executors: cannot build communicator");
   }
   if (cfg_.topology_aware) {
     std::sort(order.begin(), order.end(),
@@ -145,13 +149,13 @@ void Cluster::rebuild_comm() {
   sc_->set_recv_timeout(cfg_.collective_timeout);
   sc_parallelism_ = cfg_.sai_parallelism;
   sc_topology_aware_ = cfg_.topology_aware;
-  sc_alive_ = alive_executors();
+  sc_members_ = ring_members();
 }
 
 comm::Communicator& Cluster::scalable_comm() {
   if (!sc_ || sc_parallelism_ != cfg_.sai_parallelism ||
       sc_topology_aware_ != cfg_.topology_aware ||
-      sc_alive_ != alive_executors()) {
+      sc_members_ != ring_members()) {
     rebuild_comm();
   }
   sc_->set_recv_timeout(cfg_.collective_timeout);

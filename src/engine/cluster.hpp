@@ -10,6 +10,7 @@
 #include "comm/communicator.hpp"
 #include "comm/topology.hpp"
 #include "engine/config.hpp"
+#include "engine/health.hpp"
 #include "net/cluster.hpp"
 #include "net/connection.hpp"
 #include "net/fabric.hpp"
@@ -118,6 +119,17 @@ class Cluster {
     return n;
   }
 
+  // ---- health-aware scheduling view ---------------------------------------
+
+  /// The driver's health view (heartbeat detection, speculation accounting,
+  /// quarantine). Scheduling and ring-membership decisions consult this —
+  /// not the omniscient `executor_alive()` — so with heartbeats enabled,
+  /// detection latency is a real component of recovery time.
+  HealthMonitor& health() noexcept { return *health_; }
+
+  /// May this executor be scheduled onto / join the next ring?
+  bool executor_usable(int exec_id) { return health_->usable(exec_id); }
+
   /// Forces the next scalable_comm() call to rebuild over the surviving
   /// topology. The old communicator is parked, not destroyed: its pump
   /// coroutines may still be suspended in the event queue mid-simulation.
@@ -208,13 +220,14 @@ class Cluster {
   DemuxConn& demux(int from, int to);
   void rebuild_comm();
   void arm_faults();
-  std::vector<int> alive_executors() const;
+  std::vector<int> ring_members();
 
   sim::Simulator* sim_;
   net::ClusterSpec spec_;
   EngineConfig cfg_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Executor>> executors_;
+  std::unique_ptr<HealthMonitor> health_;
   sim::FifoServer driver_loop_;
   Duration rpc_overhead_ = sim::microseconds(150);
   std::unordered_map<std::int64_t, std::unique_ptr<DemuxConn>> demux_;
@@ -227,7 +240,7 @@ class Cluster {
   std::vector<std::unique_ptr<comm::Communicator>> retired_sc_;
   int sc_parallelism_ = 0;
   bool sc_topology_aware_ = false;
-  std::vector<int> sc_alive_;  ///< executor ids the current comm spans.
+  std::vector<int> sc_members_;  ///< executor ids the current comm spans.
   std::vector<int> rank_to_exec_;
   std::vector<int> exec_to_rank_;
 };

@@ -102,6 +102,42 @@ struct FaultSchedule {
   }
 };
 
+/// Health-aware scheduling knobs: heartbeat failure detection, speculative
+/// execution, and executor quarantine (blacklisting). All three default off,
+/// mirroring Spark (`spark.speculation` and blacklisting are opt-in, and the
+/// omniscient fault view is the zero-latency limit of heartbeat detection).
+struct HealthConfig {
+  /// Heartbeat-based failure detection. Off: the driver's health view
+  /// mirrors the fault fabric instantly (pre-PR-3 omniscient behaviour).
+  /// On: executors heartbeat the driver every `heartbeat_interval`; an
+  /// executor whose last heartbeat is older than `heartbeat_timeout` is
+  /// *suspect*, older than `executor_timeout` is *dead* — and detection
+  /// latency becomes a real component of recovery time.
+  bool heartbeats = false;
+  sim::Duration heartbeat_interval = sim::milliseconds(100);
+  sim::Duration heartbeat_timeout = sim::milliseconds(300);
+  sim::Duration executor_timeout = sim::milliseconds(800);
+
+  /// Speculative execution: when a compute task runs longer than
+  /// `speculation_multiplier` x the running median of completed task
+  /// durations (and at least `speculation_quantile` of the stage's tasks
+  /// have completed), a duplicate attempt launches on a healthy executor
+  /// and the first finisher wins.
+  bool speculation = false;
+  double speculation_multiplier = 1.5;
+  double speculation_quantile = 0.5;
+  sim::Duration speculation_interval = sim::milliseconds(20);
+
+  /// Executor quarantine: an executor accumulating `quarantine_max_failures`
+  /// task failures or `quarantine_max_straggles` lost speculation races is
+  /// excluded from scheduling and ring membership for `quarantine_duration`,
+  /// then rejoins.
+  bool quarantine = false;
+  int quarantine_max_failures = 2;
+  int quarantine_max_straggles = 2;
+  sim::Duration quarantine_duration = sim::seconds(10);
+};
+
 /// Per-executor compute slowdown multipliers (straggler model); executors
 /// not present run at speed 1.
 struct StragglerPlan {
@@ -138,6 +174,7 @@ struct EngineConfig {
   FaultPlan faults{};
   FaultSchedule fault_schedule{};
   StragglerPlan stragglers{};
+  HealthConfig health{};
 };
 
 }  // namespace sparker::engine

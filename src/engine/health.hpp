@@ -1,0 +1,313 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "net/fault.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+/// \file health.hpp
+/// The driver's health-aware view of the cluster (paper context: a PDR ring
+/// runs at the pace of its slowest member, so the scheduler must detect and
+/// route around gray failures, not just observe fail-stop deaths).
+///
+/// Three cooperating mechanisms, all opt-in via `HealthConfig`:
+///
+///  * **Heartbeat failure detection** — while a job is running, each live
+///    executor heartbeats the driver every `heartbeat_interval` (one
+///    control-latency hop, a tiny booking on the driver loop). The driver's
+///    monitor tick marks an executor *suspect* once its last heartbeat is
+///    older than `heartbeat_timeout` and *dead* once older than
+///    `executor_timeout`. With heartbeats off, the view falls back to the
+///    fault fabric's instantaneous truth (the zero-latency limit).
+///  * **Straggler / failure accounting for quarantine** — the compute
+///    stages report task failures and lost speculation races here; an
+///    executor crossing either threshold is quarantined for
+///    `quarantine_duration`: excluded from scheduling and from the next
+///    ring-communicator build exactly like a dead executor, then readmitted
+///    when the quarantine lapses.
+///  * **Detection-latency measurement** — each death declaration records
+///    `detection_time - FaultFabric::node_death_time`, making detection
+///    latency a first-class, reported component of recovery time.
+///
+/// All timers are cancellable (`Simulator::call_at_cancellable`) and armed
+/// only while at least one job is active, so an idle cluster's event queue
+/// drains and the simulated end time is never inflated by monitoring.
+
+namespace sparker::engine {
+
+using sim::Duration;
+using sim::Time;
+
+/// Cluster-lifetime health statistics.
+struct HealthStats {
+  std::uint64_t heartbeats_received = 0;
+  int suspect_transitions = 0;  ///< healthy -> suspect flips.
+  int declared_dead = 0;        ///< executors declared dead by the monitor.
+  Duration total_detection_latency = 0;  ///< sum over declared deaths.
+  Duration max_detection_latency = 0;
+  int quarantine_events = 0;  ///< executors placed in quarantine.
+  int rejoins = 0;            ///< quarantines that lapsed (executor readmitted).
+};
+
+class HealthMonitor {
+ public:
+  enum class Status { kHealthy, kSuspect, kDead, kQuarantined };
+
+  /// `hb_latency(e)` is the one-way control-plane latency of executor e's
+  /// heartbeat; `driver_loop` (optional) books a tiny per-heartbeat service
+  /// on the driver's event loop. `cfg` is referenced, not copied, so tests
+  /// may tweak knobs after cluster construction.
+  HealthMonitor(sim::Simulator& sim, net::FaultFabric& faults,
+                int num_executors, const HealthConfig& cfg,
+                std::function<Duration(int)> hb_latency,
+                sim::FifoServer* driver_loop)
+      : sim_(&sim),
+        faults_(&faults),
+        cfg_(&cfg),
+        hb_latency_(std::move(hb_latency)),
+        driver_loop_(driver_loop),
+        execs_(static_cast<std::size_t>(num_executors)) {}
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // ---- the driver's view ---------------------------------------------------
+
+  /// Health status of an executor as the driver currently believes it.
+  /// Quarantine lapse is evaluated lazily against the simulated clock.
+  Status status(int e) {
+    ExecState& st = execs_.at(static_cast<std::size_t>(e));
+    maybe_lapse(e, st);
+    if (quarantined_now(st)) return Status::kQuarantined;
+    if (!cfg_->heartbeats) {
+      // Omniscient fallback: the fabric's truth, with zero detection latency.
+      return faults_->node_alive(e) ? Status::kHealthy : Status::kDead;
+    }
+    return st.status;
+  }
+
+  /// May this executor be scheduled onto / join the ring? (Not believed
+  /// dead, not quarantined. Suspect executors remain usable — Spark keeps
+  /// scheduling on a merely-slow executor — but are skipped as speculative
+  /// targets.)
+  bool usable(int e) {
+    const Status s = status(e);
+    return s != Status::kDead && s != Status::kQuarantined;
+  }
+
+  /// Usable and not suspect: where speculative copies may land.
+  bool healthy(int e) { return status(e) == Status::kHealthy; }
+
+  /// Executor ids the driver would build a ring over right now.
+  std::vector<int> usable_executors() {
+    std::vector<int> out;
+    for (int e = 0; e < num_executors(); ++e) {
+      if (usable(e)) out.push_back(e);
+    }
+    return out;
+  }
+
+  int num_executors() const noexcept {
+    return static_cast<int>(execs_.size());
+  }
+
+  // ---- quarantine ledger ---------------------------------------------------
+
+  /// A task attempt failed on executor e (injected fault or lost result).
+  void record_failure(int e) {
+    if (!cfg_->quarantine) return;
+    ExecState& st = execs_.at(static_cast<std::size_t>(e));
+    if (quarantined_now(st)) return;
+    if (++st.failures >= cfg_->quarantine_max_failures) quarantine(e, st);
+  }
+
+  /// Executor e lost a speculation race (its copy of the task was so slow a
+  /// duplicate launched elsewhere and won).
+  void record_straggler(int e) {
+    if (!cfg_->quarantine) return;
+    ExecState& st = execs_.at(static_cast<std::size_t>(e));
+    if (quarantined_now(st)) return;
+    if (++st.straggles >= cfg_->quarantine_max_straggles) quarantine(e, st);
+  }
+
+  /// When executor e's current quarantine lapses (kTimeNever if none).
+  Time quarantine_until(int e) const {
+    return execs_.at(static_cast<std::size_t>(e)).quarantine_until;
+  }
+
+  // ---- job lifecycle -------------------------------------------------------
+
+  /// First active job starts the heartbeat chains and the monitor tick;
+  /// the matching on_job_end of the last active job cancels them (pending
+  /// timers are discarded without advancing the simulated clock).
+  void on_job_begin() {
+    if (++active_jobs_ > 1 || !cfg_->heartbeats) return;
+    token_ = std::make_shared<bool>(false);
+    const Time now = sim_->now();
+    for (int e = 0; e < num_executors(); ++e) {
+      ExecState& st = execs_[static_cast<std::size_t>(e)];
+      if (st.status == Status::kDead) continue;
+      st.last_hb = now;  // grace period: nobody is stale at job start.
+      if (st.status == Status::kSuspect) st.status = Status::kHealthy;
+      if (faults_->node_alive(e)) {
+        arm_heartbeat(e, now + cfg_->heartbeat_interval);
+      }
+    }
+    arm_tick(now + cfg_->heartbeat_interval);
+  }
+
+  void on_job_end() {
+    if (--active_jobs_ > 0) return;
+    sim::Simulator::cancel(token_);
+    token_.reset();
+  }
+
+  /// Waits until the heartbeat picture is unambiguous: every executor not
+  /// declared dead (and not quarantined) has a fresh heartbeat. After a
+  /// collective failure this is the driver "waiting out" detection — a
+  /// bounded wait (at most `executor_timeout`) whose cost lands in the
+  /// job's recovery time. Immediate when heartbeats are off.
+  sim::Task<void> await_settled() {
+    if (!cfg_->heartbeats || active_jobs_ == 0) co_return;
+    for (;;) {
+      bool unsettled = false;
+      const Time now = sim_->now();
+      for (int e = 0; e < num_executors(); ++e) {
+        ExecState& st = execs_[static_cast<std::size_t>(e)];
+        if (st.status == Status::kDead || quarantined_now(st)) continue;
+        if (now - st.last_hb > cfg_->heartbeat_timeout) {
+          unsettled = true;
+          break;
+        }
+      }
+      if (!unsettled) co_return;
+      co_await sim_->sleep(cfg_->heartbeat_interval);
+    }
+  }
+
+  const HealthStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ExecState {
+    Time last_hb = 0;
+    Status status = Status::kHealthy;
+    Time quarantine_until = sim::kTimeNever;  ///< kTimeNever = none pending.
+    bool in_quarantine = false;
+    int failures = 0;
+    int straggles = 0;
+  };
+
+  bool quarantined_now(const ExecState& st) const {
+    return st.in_quarantine && sim_->now() < st.quarantine_until;
+  }
+
+  void maybe_lapse(int e, ExecState& st) {
+    if (st.in_quarantine && sim_->now() >= st.quarantine_until) {
+      st.in_quarantine = false;
+      st.quarantine_until = sim::kTimeNever;
+      ++stats_.rejoins;
+      // Readmitted with a clean slate (and a heartbeat grace period).
+      st.failures = 0;
+      st.straggles = 0;
+      if (st.status != Status::kDead) st.last_hb = sim_->now();
+      // The heartbeat chain kept running through the quarantine, so a live
+      // executor is immediately fresh; a dead one will be detected normally.
+      (void)e;
+    }
+  }
+
+  void quarantine(int e, ExecState& st) {
+    st.in_quarantine = true;
+    st.quarantine_until = sim_->now() + cfg_->quarantine_duration;
+    st.failures = 0;
+    st.straggles = 0;
+    ++stats_.quarantine_events;
+    (void)e;
+  }
+
+  /// Executor-side send at `send_at`; the arrival lands one control hop
+  /// later. A dead executor stops heartbeating forever.
+  void arm_heartbeat(int e, Time send_at) {
+    sim_->call_at_cancellable(
+        send_at,
+        [this, e, send_at] {
+          if (!faults_->node_alive(e)) return;  // chain ends at death.
+          const Time arrive = send_at + hb_latency_(e);
+          sim_->call_at_cancellable(
+              arrive,
+              [this, e, arrive] {
+                ExecState& st = execs_[static_cast<std::size_t>(e)];
+                st.last_hb = arrive;
+                ++stats_.heartbeats_received;
+                if (st.status == Status::kSuspect) st.status = Status::kHealthy;
+                if (driver_loop_) {
+                  (void)driver_loop_->enqueue(sim::microseconds(5));
+                }
+              },
+              token_);
+          arm_heartbeat(e, send_at + cfg_->heartbeat_interval);
+        },
+        token_);
+  }
+
+  /// Driver-side monitor: sweeps heartbeat ages every interval.
+  void arm_tick(Time at) {
+    sim_->call_at_cancellable(
+        at,
+        [this, at] {
+          const Time now = sim_->now();
+          for (int e = 0; e < num_executors(); ++e) {
+            ExecState& st = execs_[static_cast<std::size_t>(e)];
+            if (st.status == Status::kDead) continue;
+            const Duration age = now - st.last_hb;
+            if (age > cfg_->executor_timeout) {
+              st.status = Status::kDead;
+              ++stats_.declared_dead;
+              const Time died = faults_->node_death_time(e);
+              const Duration latency =
+                  died == net::FaultFabric::kNever ? 0 : now - died;
+              stats_.total_detection_latency += latency;
+              stats_.max_detection_latency =
+                  std::max(stats_.max_detection_latency, latency);
+            } else if (age > cfg_->heartbeat_timeout) {
+              if (st.status == Status::kHealthy) {
+                st.status = Status::kSuspect;
+                ++stats_.suspect_transitions;
+              }
+            }
+          }
+          arm_tick(at + cfg_->heartbeat_interval);
+        },
+        token_);
+  }
+
+  sim::Simulator* sim_;
+  net::FaultFabric* faults_;
+  const HealthConfig* cfg_;
+  std::function<Duration(int)> hb_latency_;
+  sim::FifoServer* driver_loop_;
+  std::vector<ExecState> execs_;
+  HealthStats stats_;
+  int active_jobs_ = 0;
+  sim::Simulator::TimerHandle token_;
+};
+
+/// RAII active-job marker for the health monitor; safe across co_awaits.
+class HealthJobGuard {
+ public:
+  explicit HealthJobGuard(HealthMonitor& h) : h_(&h) { h_->on_job_begin(); }
+  HealthJobGuard(const HealthJobGuard&) = delete;
+  HealthJobGuard& operator=(const HealthJobGuard&) = delete;
+  ~HealthJobGuard() { h_->on_job_end(); }
+
+ private:
+  HealthMonitor* h_;
+};
+
+}  // namespace sparker::engine

@@ -60,12 +60,24 @@ class FaultFabric {
 
   // ---- node (process) faults ----------------------------------------------
 
-  void kill_node(int node) { dead_nodes_.insert(node); }
+  void kill_node(int node) {
+    if (dead_nodes_.insert(node).second) {
+      death_times_.emplace(node, sim_->now());
+    }
+  }
   void kill_node_at(Time t, int node) {
     sim_->call_at(t, [this, node] { kill_node(node); });
   }
   bool node_alive(int node) const { return dead_nodes_.count(node) == 0; }
   std::size_t dead_node_count() const { return dead_nodes_.size(); }
+
+  /// Simulated time a node died, or kNever if it is still alive. The health
+  /// monitor subtracts this from its own detection time to measure the
+  /// detection latency of heartbeat-based failure detection.
+  Time node_death_time(int node) const {
+    auto it = death_times_.find(node);
+    return it == death_times_.end() ? kNever : it->second;
+  }
 
   // ---- node-to-node channel faults (consulted by comm::Communicator) ------
   // `channel` selects one parallel ring channel; -1 applies to all channels
@@ -168,6 +180,7 @@ class FaultFabric {
   /// independent runs sharing one fabric).
   void reset() {
     dead_nodes_.clear();
+    death_times_.clear();
     dead_hosts_.clear();
     channels_.clear();
     hosts_.clear();
@@ -214,6 +227,7 @@ class FaultFabric {
   sim::Simulator* sim_;
   sim::Rng rng_;
   std::unordered_set<int> dead_nodes_;
+  std::unordered_map<int, Time> death_times_;
   std::unordered_set<int> dead_hosts_;
   FaultMap channels_;  ///< keyed by (src node, dst node, channel).
   FaultMap hosts_;     ///< keyed by (src host, dst host).

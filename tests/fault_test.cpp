@@ -286,10 +286,122 @@ TEST_P(CollectiveFaultSweep, RandomSeverCompletesCorrectlyOrFailsCleanly) {
   }
 }
 
+// Delay and degrade faults must never corrupt a collective: the run
+// completes with the exact reference value, merely later. (A fault drawn on
+// a channel the collective never crosses legitimately costs nothing, hence
+// >= rather than > here; strict slowdown is pinned on a known-used channel
+// below.)
+TEST_P(CollectiveFaultSweep, RandomSlowChannelIsSlowerNotWrong) {
+  const Coll coll = GetParam();
+  const int n = 5, p = 2, len = 48;
+  const Vec want = expected_sum(n, len);
+  const Outcome clean = run_collective(coll, n, p, len, nullptr);
+  ASSERT_FALSE(clean.failed);
+  ASSERT_EQ(clean.assembled, want);
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Rng rng(seed * 3391 + static_cast<std::uint64_t>(coll));
+    const int src = static_cast<int>(rng.next_below(n));
+    const int dst = static_cast<int>(rng.next_below(n));
+    const int channel =
+        rng.bernoulli(0.5) ? -1 : static_cast<int>(rng.next_below(p));
+    const bool degrade = rng.bernoulli(0.5);
+    auto fault = [=](net::FaultFabric& f) {
+      if (degrade) {
+        f.degrade_channel(src, dst, channel, 6.0);
+      } else {
+        f.delay_channel(src, dst, channel, sim::milliseconds(3));
+      }
+    };
+    const Outcome a = run_collective(coll, n, p, len, fault);
+    SCOPED_TRACE(::testing::Message()
+                 << coll_name(coll) << " seed=" << seed
+                 << (degrade ? " degrade " : " delay ") << src << "->" << dst
+                 << " ch=" << channel);
+    ASSERT_FALSE(a.failed) << "slow channels must not abort collectives";
+    EXPECT_EQ(a.assembled, want);
+    EXPECT_GE(a.end, clean.end);
+    const Outcome b = run_collective(coll, n, p, len, fault);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.assembled, b.assembled);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllCollectives, CollectiveFaultSweep,
                          ::testing::Values(Coll::kRingRS, Coll::kAllreduce,
                                            Coll::kBinomial, Coll::kHalving,
                                            Coll::kPairwise));
+
+// Runs one ring_reduce_scatter in an existing world, returning (duration,
+// assembled value). Used to show a degraded channel slows the ring and a
+// healed one restores baseline timing within the same world.
+std::pair<Duration, Vec> ring_once(World& w, int n, int p, int len) {
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  std::vector<std::vector<comm::Seg<Vec>>> seg_results(
+      static_cast<std::size_t>(n));
+  const Time start = w.sim->now();
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    seg_results[static_cast<std::size_t>(rank)] =
+        co_await comm::ring_reduce_scatter(*w.c, rank, ops);
+  };
+  w.sim->run_task(comm::run_all_ranks(*w.c, body));
+  const Duration took = w.sim->now() - start;
+  Vec assembled(static_cast<std::size_t>(len), 0);
+  for (auto& per_rank : seg_results) {
+    for (auto& [seg, v] : per_rank) {
+      auto [lo, hi] = slice_bounds(len, seg, p * n);
+      for (int i = lo; i < hi; ++i) {
+        assembled[static_cast<std::size_t>(i)] =
+            v[static_cast<std::size_t>(i - lo)];
+      }
+    }
+  }
+  return {took, assembled};
+}
+
+TEST(ChannelFaults, DegradedRingChannelIsStrictlySlowerAndMonotonic) {
+  const int n = 5, p = 2, len = 48;
+  const Vec want = expected_sum(n, len);
+  World baseline(n, p);
+  const auto [clean_dur, clean_val] = ring_once(baseline, n, p, len);
+  ASSERT_EQ(clean_val, want);
+
+  // The 0 -> 1 hop is on every ring pass: degrading it must slow the whole
+  // collective, monotonically in the degradation factor.
+  Duration prev = clean_dur;
+  for (double factor : {2.0, 4.0, 8.0}) {
+    World w(n, p);
+    w.fabric->faults().degrade_channel(0, 1, -1, factor);
+    const auto [dur, val] = ring_once(w, n, p, len);
+    SCOPED_TRACE(::testing::Message() << "factor=" << factor);
+    EXPECT_EQ(val, want);
+    EXPECT_GT(dur, prev);
+    prev = dur;
+  }
+}
+
+TEST(ChannelFaults, HealedChannelRestoresBaselineTiming) {
+  const int n = 5, p = 2, len = 48;
+  const Vec want = expected_sum(n, len);
+  World baseline(n, p);
+  const auto [clean_dur, clean_val] = ring_once(baseline, n, p, len);
+  ASSERT_EQ(clean_val, want);
+
+  World w(n, p);
+  w.fabric->faults().degrade_channel(0, 1, -1, 8.0);
+  const auto [slow_dur, slow_val] = ring_once(w, n, p, len);
+  EXPECT_EQ(slow_val, want);
+  EXPECT_GT(slow_dur, clean_dur);
+
+  // Heal (restore the bandwidth multiplier to 1x) and rerun in the same
+  // world: the ring's duration returns exactly to the fault-free baseline.
+  w.fabric->faults().degrade_channel(0, 1, -1, 1.0);
+  const auto [healed_dur, healed_val] = ring_once(w, n, p, len);
+  EXPECT_EQ(healed_val, want);
+  EXPECT_EQ(healed_dur, clean_dur);
+}
 
 TEST(CollectiveTimeout, HungRecvRaisesCollectiveFailed) {
   World w(2);
@@ -525,6 +637,112 @@ TEST(SplitAggregateFaults, DelayedChannelSlowsRingButStaysCorrect) {
   EXPECT_EQ(run.value, clean.value);
   EXPECT_EQ(run.stats.ring_stage_attempts, 1);   // slow, not broken
   EXPECT_GT(run.stats.end, clean.stats.end);     // ...but measurably slow
+}
+
+TEST(SplitAggregateFaults, DegradedChannelSlowsRingButStaysCorrect) {
+  const SplitRun clean = run_split_with_schedule({});
+  e::FaultSchedule schedule;
+  schedule.degrade_channel(/*at=*/0, /*src=*/0, /*dst=*/1, /*channel=*/-1,
+                           /*factor=*/8.0);
+  const SplitRun run = run_split_with_schedule(schedule);
+  ASSERT_FALSE(run.failed);
+  EXPECT_EQ(run.value, clean.value);
+  EXPECT_EQ(run.stats.ring_stage_attempts, 1);   // degraded, not broken
+  EXPECT_GT(run.stats.end, clean.stats.end);
+}
+
+// ===========================================================================
+// split_allreduce fault tolerance
+// ===========================================================================
+
+// Same cluster/spec as run_split_with_schedule, but through the allreduce
+// path: every surviving executor must hold the full reduced vector.
+SplitRun run_allreduce_with_schedule(const e::FaultSchedule& schedule,
+                                     int nodes = 4, int parts = 8,
+                                     int max_stage_attempts = 4) {
+  e::EngineConfig cfg;
+  cfg.agg_mode = e::AggMode::kSplit;
+  cfg.sai_parallelism = 2;
+  cfg.collective_timeout = sim::milliseconds(400);
+  cfg.stage_retry_backoff = sim::milliseconds(10);
+  cfg.max_stage_attempts = max_stage_attempts;
+  cfg.fault_schedule = schedule;
+  Simulator sim;
+  e::Cluster cl(sim, fault_spec(nodes), cfg);
+  e::CachedRdd<std::int64_t> rdd(parts, cl.num_executors(), rows_gen(6));
+  auto spec = big_split_spec(/*dim=*/64, /*scale=*/8192);
+  SplitRun out;
+  auto job = [&]() -> Task<Vec> {
+    co_return co_await e::split_allreduce(cl, rdd, spec, &out.stats);
+  };
+  try {
+    out.value = sim.run_task(job());
+  } catch (const std::runtime_error&) {
+    out.failed = true;
+  }
+  return out;
+}
+
+TEST(AllreduceFaults, KillExecutorMidAllreduceRetriesAndMatchesFaultFree) {
+  const SplitRun clean = run_allreduce_with_schedule({});
+  ASSERT_FALSE(clean.failed);
+  ASSERT_EQ(clean.stats.ring_stage_attempts, 1);
+  // The allreduce result is the fully reduced vector: identical to the
+  // split-aggregate path's value over the same data.
+  const SplitRun split_clean = run_split_with_schedule({});
+  ASSERT_EQ(clean.value, split_clean.value);
+
+  const Time lo = clean.stats.compute_done;
+  const Time hi = clean.stats.end;
+  ASSERT_GT(hi, lo);
+  // Before this stage carried its own retry loop, a mid-allreduce death left
+  // AllreduceTask::go without a catch and the job hung forever. Every kill
+  // in this sweep must now complete — with the fault-free value.
+  bool saw_retry = false;
+  for (int pct : {25, 40, 55, 70, 85}) {
+    const Time t = lo + (hi - lo) * static_cast<Time>(pct) / 100;
+    e::FaultSchedule schedule;
+    schedule.seed = 42;
+    schedule.kill_executor(t, /*executor=*/2);
+    const SplitRun run = run_allreduce_with_schedule(schedule);
+    SCOPED_TRACE(::testing::Message() << "kill at " << pct << "% of window");
+    ASSERT_FALSE(run.failed);
+    EXPECT_EQ(run.value, clean.value);
+    if (run.stats.ring_stage_attempts > 1) {
+      saw_retry = true;
+      EXPECT_GT(run.stats.recovery_time, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(AllreduceFaults, IdenticalSeedsReplayIdenticalRecoveryTraces) {
+  const SplitRun clean = run_allreduce_with_schedule({});
+  const Time t = clean.stats.compute_done +
+                 (clean.stats.end - clean.stats.compute_done) / 2;
+  e::FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.kill_executor(t, 1);
+
+  const SplitRun a = run_allreduce_with_schedule(schedule);
+  const SplitRun b = run_allreduce_with_schedule(schedule);
+  ASSERT_FALSE(a.failed);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.stats.end, b.stats.end);
+  EXPECT_EQ(a.stats.ring_stage_attempts, b.stats.ring_stage_attempts);
+  EXPECT_EQ(a.stats.recovery_time, b.stats.recovery_time);
+}
+
+TEST(AllreduceFaults, PermanentSeverFailsCleanlyAfterMaxAttempts) {
+  const SplitRun clean = run_allreduce_with_schedule({});
+  const Time mid = clean.stats.compute_done +
+                   (clean.stats.end - clean.stats.compute_done) / 2;
+  e::FaultSchedule schedule;
+  schedule.sever_channel(mid, /*src=*/1, /*dst=*/2, /*channel=*/-1);
+  const SplitRun run =
+      run_allreduce_with_schedule(schedule, 4, 8, /*max_stage_attempts=*/2);
+  EXPECT_TRUE(run.failed);
+  EXPECT_EQ(run.stats.ring_stage_attempts, 2);
 }
 
 TEST(FaultFabric, ScheduledEventsApplyAtTheirTime) {

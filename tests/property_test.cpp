@@ -36,6 +36,14 @@ struct Config {
   int num_partitions = 1;  // 1..3N (some executors get none, some several)
   int dim = 1;             // aggregator length; can be far below P*N
   std::vector<int> rows_per_part;
+  // Health-aware scheduling draws: straggler factors on a random subset of
+  // executors, with speculation / heartbeats / quarantine toggled on some
+  // configs. None of it may change the computed value — duplicates race,
+  // but exactly one attempt's result ever counts.
+  StragglerPlan stragglers;
+  bool speculation = false;
+  bool heartbeats = false;
+  bool quarantine = false;
 };
 
 Config draw_config(std::uint64_t seed) {
@@ -52,6 +60,17 @@ Config draw_config(std::uint64_t seed) {
   for (auto& r : c.rows_per_part) {
     r = static_cast<int>(rng.next_below(12));                   // 0..11
   }
+  const int num_stragglers = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(c.num_nodes / 2 + 1)));
+  for (int i = 0; i < num_stragglers; ++i) {
+    const int exec = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(c.num_nodes)));
+    c.stragglers.slowdown[exec] =
+        2.0 + static_cast<double>(rng.next_below(7));           // 2x..8x
+  }
+  c.speculation = rng.bernoulli(0.5);
+  c.heartbeats = rng.bernoulli(0.25);
+  c.quarantine = rng.bernoulli(0.25);
   return c;
 }
 
@@ -136,6 +155,13 @@ EngineConfig engine_config(const Config& c, AggMode mode) {
   EngineConfig cfg;
   cfg.agg_mode = mode;
   cfg.sai_parallelism = c.parallelism;
+  cfg.stragglers = c.stragglers;
+  cfg.health.speculation = c.speculation;
+  cfg.health.heartbeats = c.heartbeats;
+  cfg.health.quarantine = c.quarantine;
+  // Partition costs here are microseconds, so monitor at that scale too —
+  // otherwise the stage ends before the first speculation check.
+  cfg.health.speculation_interval = sim::microseconds(500);
   return cfg;
 }
 
@@ -168,7 +194,9 @@ void check_config(std::uint64_t seed) {
   SCOPED_TRACE(::testing::Message()
                << "seed=" << seed << " N=" << c.num_nodes
                << " P=" << c.parallelism << " parts=" << c.num_partitions
-               << " dim=" << c.dim);
+               << " dim=" << c.dim << " stragglers=" << c.stragglers.slowdown.size()
+               << " spec=" << c.speculation << " hb=" << c.heartbeats
+               << " quar=" << c.quarantine);
   const Vec want = sequential_reference(c);
   EXPECT_EQ(run_tree(c, AggMode::kTree), want) << "tree";
   EXPECT_EQ(run_tree(c, AggMode::kTreeImm), want) << "tree+IMM";
