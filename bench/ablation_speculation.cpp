@@ -12,19 +12,28 @@
 // Reported per schedule: end-to-end time, speculative launches/wins and the
 // win rate, the monitor's measured detection latency, and time charged to
 // recovery — printed and written to BENCH_ablation_speculation.json.
+//
+// Every run records a structured trace. The speculation columns are derived
+// from it (counting "spec.launch"/"spec.win" instants) and the recovery
+// column from obs::recovery_from_trace; both must equal the engine's ad-hoc
+// AggMetrics accounting exactly or the bench aborts. Pass --trace-out <path>
+// (or set SPARKER_TRACE_OUT) to dump the heartbeat-detection run's trace.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
+#include "bench_util/trace_opt.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
 #include "engine/config.hpp"
 #include "engine/health.hpp"
 #include "engine/rdd.hpp"
 #include "net/cluster.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 using namespace sparker;
@@ -76,16 +85,33 @@ engine::SplitAggSpec<std::int64_t, Vec, Vec> split_spec() {
 struct Run {
   bool failed = false;
   Vec value;
-  engine::AggStats stats;
+  engine::AggMetrics stats;
   engine::HealthStats health;
+  sim::Duration trace_recovery = 0;    ///< obs::recovery_from_trace
+  std::int64_t trace_spec_launch = 0;  ///< "spec.launch" instants
+  std::int64_t trace_spec_win = 0;     ///< "spec.win" instants
+  bool lint_ok = false;
 };
 
-Run run_with(const engine::EngineConfig& base) {
+std::int64_t count_instants(const obs::TraceSink& sink, const char* name) {
+  std::int64_t n = 0;
+  for (const auto& ev : sink.events()) {
+    if (ev.kind == obs::EventKind::kInstant &&
+        std::strcmp(ev.name, name) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Run run_with(const engine::EngineConfig& base,
+             const std::string& trace_out = "") {
   engine::EngineConfig cfg = base;
   cfg.agg_mode = engine::AggMode::kSplit;
   cfg.sai_parallelism = 2;
   cfg.collective_timeout = sim::milliseconds(500);
   cfg.stage_retry_backoff = sim::milliseconds(10);
+  cfg.trace.enabled = true;
   sim::Simulator simulator;
   net::ClusterSpec spec = net::ClusterSpec::bic(kNodes);
   spec.executors_per_node = 1;
@@ -113,6 +139,14 @@ Run run_with(const engine::EngineConfig& base) {
     out.failed = true;
   }
   out.health = cluster.health().stats();
+  // Extract trace-derived numbers before the local Cluster (which owns the
+  // sink) is destroyed.
+  const obs::TraceSink& sink = cluster.trace();
+  out.trace_recovery = obs::recovery_from_trace(sink);
+  out.trace_spec_launch = count_instants(sink, "spec.launch");
+  out.trace_spec_win = count_instants(sink, "spec.win");
+  out.lint_ok = obs::lint(sink).ok();
+  if (!trace_out.empty()) obs::write_chrome_trace(sink, trace_out);
   return out;
 }
 
@@ -125,7 +159,8 @@ engine::HealthConfig speculation_on() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_out = bench::trace_out_option(argc, argv);
   bench::print_banner(
       "Ablation: health-aware scheduling",
       "Split aggregation (BIC 4 nodes, ~4 MiB modeled aggregator) under "
@@ -190,8 +225,11 @@ int main() {
       .set("aggregator_bytes", static_cast<std::uint64_t>(kDim) * 8 * kScale)
       .set("baseline_s", base_s);
 
-  for (const auto& c : cases) {
-    const Run r = run_with(c.cfg);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    // Dump the heartbeat-detection run's Chrome trace (index 5: kill
+    // mid-ring with heartbeats) when --trace-out was given.
+    const Run r = run_with(c.cfg, i == 5 ? trace_out : std::string());
     if (r.failed) {
       t.add_row({c.label, "failed", "-", "-", "-", "-", "-", "-"});
       continue;
@@ -200,23 +238,45 @@ int main() {
       std::printf("BUG: schedule '%s' changed the result\n", c.label);
       return 1;
     }
+    if (!r.lint_ok) {
+      std::printf("BUG: schedule '%s' produced a malformed trace\n", c.label);
+      return 1;
+    }
+    // The speculation and recovery columns come from the trace; they must
+    // match the engine's ad-hoc counters exactly.
+    if (r.trace_spec_launch != r.stats.speculative_launches ||
+        r.trace_spec_win != r.stats.speculative_wins) {
+      std::printf(
+          "BUG: schedule '%s': trace counts %lld/%lld != metrics %lld/%lld\n",
+          c.label, static_cast<long long>(r.trace_spec_launch),
+          static_cast<long long>(r.trace_spec_win),
+          static_cast<long long>(r.stats.speculative_launches),
+          static_cast<long long>(r.stats.speculative_wins));
+      return 1;
+    }
+    if (r.trace_recovery != r.stats.recovery_time) {
+      std::printf("BUG: schedule '%s': trace recovery %.9fs != metrics %.9fs\n",
+                  c.label, sim::to_seconds(r.trace_recovery),
+                  sim::to_seconds(r.stats.recovery_time));
+      return 1;
+    }
     const double total_s = sim::to_seconds(r.stats.end - r.stats.start);
     const double win_rate =
-        r.stats.speculative_launches
-            ? static_cast<double>(r.stats.speculative_wins) /
-                  static_cast<double>(r.stats.speculative_launches)
+        r.trace_spec_launch
+            ? static_cast<double>(r.trace_spec_win) /
+                  static_cast<double>(r.trace_spec_launch)
             : 0.0;
     t.add_row({c.label, bench::fmt(total_s, 3),
-               std::to_string(r.stats.speculative_launches),
-               std::to_string(r.stats.speculative_wins),
+               std::to_string(r.trace_spec_launch),
+               std::to_string(r.trace_spec_win),
                bench::fmt(win_rate, 2),
                bench::fmt(1e3 * sim::to_seconds(r.health.max_detection_latency),
                           1),
-               bench::fmt(sim::to_seconds(r.stats.recovery_time), 3),
+               bench::fmt(sim::to_seconds(r.trace_recovery), 3),
                bench::fmt_times(total_s / base_s, 2)});
   }
   t.print();
-  report.add_table("results", t).write();
+  report.add_table("results", t).set("speculation_source", "trace").write();
 
   std::printf(
       "\nEvery schedule returns the bit-identical fault-free value. "
@@ -224,5 +284,11 @@ int main() {
       "heartbeat detection adds its measured latency to recovery compared "
       "with the omniscient failure view; quarantine benches the flaky "
       "executor instead of retrying onto it.\n");
+  std::printf(
+      "verified: trace-derived speculation counts and recovery time equal "
+      "the engine's ad-hoc accounting on every schedule\n");
+  if (!trace_out.empty()) {
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }

@@ -4,23 +4,31 @@
 // aggregation time decomposition with vanilla Spark.
 //
 // Usage:   ./build/examples/lda_topics [iterations] [topics]
+//              [--trace-out trace.json]
+//
+// With --trace-out (or SPARKER_TRACE_OUT set), the Sparker run records a
+// structured trace written as Chrome trace_event JSON (Perfetto-loadable).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench_util/trace_opt.hpp"
 #include "data/generators.hpp"
 #include "data/presets.hpp"
 #include "engine/cluster.hpp"
 #include "ml/lda.hpp"
 #include "ml/workload.hpp"
 #include "net/cluster.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 using namespace sparker;
 
 int main(int argc, char** argv) {
+  const std::string trace_out = bench::trace_out_option(argc, argv);
   const int iterations = argc > 1 ? std::atoi(argv[1]) : 15;
   const int topics = argc > 2 ? std::atoi(argv[2]) : 8;
 
@@ -30,8 +38,11 @@ int main(int argc, char** argv) {
 
   auto run = [&](engine::AggMode mode, bool print_topics) {
     sim::Simulator simulator;
-    engine::Cluster cluster(simulator, net::ClusterSpec::bic(8));
-    cluster.config().agg_mode = mode;
+    engine::EngineConfig config;
+    config.agg_mode = mode;
+    config.trace.enabled =
+        !trace_out.empty() && mode == engine::AggMode::kSplit;
+    engine::Cluster cluster(simulator, net::ClusterSpec::bic(8), config);
     auto rdd = ml::make_corpus_rdd(preset, cluster.spec().total_cores(),
                                    cluster.num_executors(), 7);
     rdd->materialize();
@@ -72,6 +83,11 @@ int main(int argc, char** argv) {
       std::printf(
           "(planted topics concentrate on contiguous word-id bands, so a "
           "well-recovered topic lists neighbouring ids)\n\n");
+    }
+    if (config.trace.enabled) {
+      obs::write_chrome_trace(cluster.trace(), trace_out);
+      std::printf("trace written to %s (load it in Perfetto)\n",
+                  trace_out.c_str());
     }
     return r.breakdown.total();
   };

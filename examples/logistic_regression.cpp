@@ -5,20 +5,25 @@
 //
 // Usage:
 //   ./build/examples/logistic_regression [iterations] [path.libsvm]
+//       [--trace-out trace.json]
 //
 // With a libsvm file argument, the planted synthetic data is replaced by
-// the file's rows (all partitions draw from it round-robin).
+// the file's rows (all partitions draw from it round-robin). With
+// --trace-out (or SPARKER_TRACE_OUT set), the Sparker run records a
+// structured trace written as Chrome trace_event JSON (Perfetto-loadable).
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench_util/trace_opt.hpp"
 #include "data/libsvm.hpp"
 #include "data/presets.hpp"
 #include "engine/cluster.hpp"
 #include "ml/train.hpp"
 #include "ml/workload.hpp"
 #include "net/cluster.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 using namespace sparker;
@@ -41,6 +46,7 @@ double accuracy(const ml::DenseVector& w,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_out = bench::trace_out_option(argc, argv);
   const int iterations = argc > 1 ? std::atoi(argv[1]) : 20;
   const std::string libsvm_path = argc > 2 ? argv[2] : "";
 
@@ -61,8 +67,12 @@ int main(int argc, char** argv) {
 
   auto run = [&](engine::AggMode mode) {
     sim::Simulator simulator;
-    engine::Cluster cluster(simulator, net::ClusterSpec::bic(8));
-    cluster.config().agg_mode = mode;
+    engine::EngineConfig config;
+    config.agg_mode = mode;
+    // Trace the Sparker run (the one worth looking at in Perfetto).
+    config.trace.enabled =
+        !trace_out.empty() && mode == engine::AggMode::kSplit;
+    engine::Cluster cluster(simulator, net::ClusterSpec::bic(8), config);
     const int partitions = cluster.spec().total_cores();
     std::unique_ptr<engine::CachedRdd<ml::LabeledPoint>> rdd;
     if (file_rows.empty()) {
@@ -104,6 +114,11 @@ int main(int argc, char** argv) {
       std::printf(" %.4f", r.loss_history[i]);
     }
     std::printf(" ... %.4f\n", r.loss_history.back());
+    if (config.trace.enabled) {
+      obs::write_chrome_trace(cluster.trace(), trace_out);
+      std::printf("trace written to %s (load it in Perfetto)\n",
+                  trace_out.c_str());
+    }
     return r.breakdown.total();
   };
 

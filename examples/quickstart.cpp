@@ -5,24 +5,35 @@
 // treeAggregate and once with Sparker's splitAggregate — verifying both
 // produce the same sums and printing the simulated wall time of each.
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/examples/quickstart [--trace-out trace.json]
+//
+// With --trace-out (or SPARKER_TRACE_OUT set), the run records a structured
+// trace and writes it as Chrome trace_event JSON — open it in Perfetto or
+// chrome://tracing to see both aggregations span by span.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_util/trace_opt.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
 #include "engine/rdd.hpp"
 #include "net/cluster.hpp"
+#include "obs/export.hpp"
 #include "sim/simulator.hpp"
 
 using namespace sparker;
 using Vec = std::vector<std::int64_t>;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_out = bench::trace_out_option(argc, argv);
+
   // A 4-node cluster modeled after the paper's BIC testbed (Table 1).
   sim::Simulator simulator;
-  engine::Cluster cluster(simulator, net::ClusterSpec::bic(4));
+  engine::EngineConfig config;
+  config.trace.enabled = !trace_out.empty();
+  engine::Cluster cluster(simulator, net::ClusterSpec::bic(4), config);
 
   // A cached RDD: 96 partitions (one per core) of integer vectors.
   const int dim = 1024;
@@ -101,5 +112,10 @@ int main() {
   std::printf("split aggregation speedup: %.2fx\n",
               static_cast<double>(tree_metrics.total()) /
                   static_cast<double>(split_metrics.total()));
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(cluster.trace(), trace_out);
+    std::printf("trace written to %s (load it in Perfetto)\n",
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,53 @@
+// trace_lint: well-formedness checker for exported Chrome trace_event
+// JSON files, as produced by --trace-out / SPARKER_TRACE_OUT.
+//
+// Usage:   ./build/examples/trace_lint trace.json [more.json ...]
+//
+// For each file, validates the JSON syntax and the span shape (every "X"
+// event carries a non-negative dur; no span was auto-closed by the
+// exporter) and prints a one-line summary. Exits non-zero if any file
+// fails — CI runs this over the sample traces the benches emit.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const sparker::obs::FileLintResult r =
+        sparker::obs::lint_chrome_trace_text(buf.str());
+    if (!r.parsed) {
+      std::fprintf(stderr, "%s: FAIL: %s\n", argv[i], r.error.c_str());
+      ++failures;
+      continue;
+    }
+    if (!r.ok()) {
+      std::fprintf(stderr,
+                   "%s: FAIL: %zu unclosed span(s), %zu span(s) missing dur, "
+                   "%zu negative duration(s)\n",
+                   argv[i], r.unclosed, r.spans_missing_dur,
+                   r.negative_durations);
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu events, %zu spans)\n", argv[i], r.events,
+                r.spans);
+  }
+  return failures ? 1 : 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/export.hpp"
+
 namespace sparker::bench {
 
 using sim::Simulator;
@@ -201,10 +203,13 @@ AggBenchResult aggregation_bench(const net::ClusterSpec& spec,
 }
 
 E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
-                  const ml::Workload& workload, int iterations) {
+                  const ml::Workload& workload, int iterations,
+                  const E2eOptions& opt) {
   Simulator sim;
-  engine::Cluster cl(sim, spec);
-  cl.config().agg_mode = mode;
+  engine::EngineConfig cfg;
+  cfg.agg_mode = mode;
+  cfg.trace.enabled = opt.trace || !opt.trace_out.empty();
+  engine::Cluster cl(sim, spec, cfg);
   auto job = [&]() -> Task<ml::WorkloadRun> {
     co_return co_await ml::run_workload(cl, workload, iterations);
   };
@@ -215,6 +220,17 @@ E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
   r.non_agg_s = sim::to_seconds(run.breakdown.non_agg);
   r.agg_compute_s = sim::to_seconds(run.breakdown.agg_compute);
   r.agg_reduce_s = sim::to_seconds(run.breakdown.agg_reduce);
+  if (cfg.trace.enabled) {
+    r.traced = true;
+    const obs::PhaseBreakdown ph = obs::phase_breakdown(cl.trace());
+    r.trace_driver_s = sim::to_seconds(ph.driver);
+    r.trace_non_agg_s = sim::to_seconds(ph.non_agg);
+    r.trace_agg_compute_s = sim::to_seconds(ph.agg_compute);
+    r.trace_agg_reduce_s = sim::to_seconds(ph.agg_reduce);
+    if (!opt.trace_out.empty()) {
+      obs::write_chrome_trace(cl.trace(), opt.trace_out);
+    }
+  }
   return r;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/collectives.hpp"
@@ -100,9 +101,22 @@ struct E2eResult {
   double non_agg_s = 0;
   double agg_compute_s = 0;
   double agg_reduce_s = 0;
+  /// Trace-derived phase totals (obs::phase_breakdown over the run's
+  /// TraceSink). Valid only when the run was traced; the fig02 bench
+  /// cross-checks them against the ad-hoc accounting above.
+  bool traced = false;
+  double trace_driver_s = 0;
+  double trace_non_agg_s = 0;
+  double trace_agg_compute_s = 0;
+  double trace_agg_reduce_s = 0;
+};
+struct E2eOptions {
+  bool trace = false;       ///< record a trace (implied by trace_out).
+  std::string trace_out;    ///< write Chrome trace JSON here when non-empty.
 };
 E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
-                  const ml::Workload& workload, int iterations);
+                  const ml::Workload& workload, int iterations,
+                  const E2eOptions& opt = {});
 
 /// AWS cluster resized to approximately `cores` total cores, mirroring the
 /// paper's strong-scaling methodology (executors shrink to 4 cores for the

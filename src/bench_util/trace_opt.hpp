@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+/// \file trace_opt.hpp
+/// Shared `--trace-out <path>` command-line handling for the example and
+/// bench binaries. The flag (or the SPARKER_TRACE_OUT environment variable)
+/// names a file to receive the run's Chrome trace_event JSON; when absent,
+/// tracing stays disabled and the run is bit-identical to an untraced one.
+
+namespace sparker::bench {
+
+/// Extracts `--trace-out <path>` / `--trace-out=<path>` from argv (compacting
+/// the array in place so positional-argument parsing downstream is
+/// unaffected) and returns the path, or "" when tracing was not requested.
+/// Falls back to the SPARKER_TRACE_OUT environment variable.
+inline std::string trace_out_option(int& argc, char** argv) {
+  std::string out;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      out = argv[i] + 12;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  if (out.empty()) {
+    if (const char* env = std::getenv("SPARKER_TRACE_OUT")) out = env;
+  }
+  return out;
+}
+
+}  // namespace sparker::bench

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -64,6 +65,15 @@ sim::Task<void> ring_rs_worker(Communicator& c, int rank, int t,
                                const SegOps<V>& ops, int nseg_total,
                                Seg<V>& out, sim::WaitGroup& wg,
                                std::exception_ptr& error) {
+  // Ring-segment traffic is traced as instants (send at post time, recv
+  // with its wait) rather than spans: a timed-out recv throws past any
+  // open span, and the worker span below already bounds the whole thread.
+  obs::TraceSink* tr = c.fabric().trace();
+  const int pid = obs::exec_pid(c.node_of(rank));
+  const obs::SpanId span =
+      tr ? tr->begin("reduce", "ring.rs", pid, t, {{"rank", rank}})
+         : obs::kNoSpan;
+  bool failed = false;
   // Workers run detached, so an escaped exception would abort the process
   // (sim::Task policy). Capture it instead and let the spawner rethrow
   // after the WaitGroup resolves.
@@ -82,8 +92,23 @@ sim::Task<void> ring_rs_worker(Communicator& c, int rank, int t,
       m.bytes = ops.bytes(cur[static_cast<std::size_t>(send_idx)]);
       m.payload = std::make_shared<V>(
           std::move(cur[static_cast<std::size_t>(send_idx)]));
+      if (tr) {
+        tr->instant("reduce", "ring.send", pid, t,
+                    {{"rank", rank},
+                     {"round", k},
+                     {"bytes", static_cast<std::int64_t>(m.bytes)}});
+      }
       c.post(rank, c.next(rank), t, std::move(m));
+      const sim::Time wait_from = c.simulator().now();
       Message in = co_await c.recv(rank, c.prev(rank), t);
+      if (tr) {
+        tr->instant("reduce", "ring.recv", pid, t,
+                    {{"rank", rank},
+                     {"round", k},
+                     {"bytes", static_cast<std::int64_t>(in.bytes)},
+                     {"wait_ns", static_cast<std::int64_t>(
+                                     c.simulator().now() - wait_from)}});
+      }
       const V& incoming = *std::static_pointer_cast<V>(in.payload);
       co_await c.simulator().sleep(merge_cost(ops, in.bytes));
       ops.reduce_into(cur[static_cast<std::size_t>(recv_idx)], incoming);
@@ -91,8 +116,10 @@ sim::Task<void> ring_rs_worker(Communicator& c, int rank, int t,
     const int own = (rank + 1) % n;
     out = {t * n + own, std::move(cur[static_cast<std::size_t>(own)])};
   } catch (...) {
+    failed = true;
     if (!error) error = std::current_exception();
   }
+  if (tr) tr->end(span, {{"failed", failed ? 1 : 0}});
   wg.done();
 }
 
@@ -135,6 +162,12 @@ sim::Task<void> ring_ag_worker(Communicator& c, int rank, int t,
                                const SegOps<V>& ops, Seg<V> own,
                                std::vector<Seg<V>>& out, sim::WaitGroup& wg,
                                std::exception_ptr& error) {
+  obs::TraceSink* tr = c.fabric().trace();
+  const int pid = obs::exec_pid(c.node_of(rank));
+  const obs::SpanId span =
+      tr ? tr->begin("reduce", "ring.ag", pid, t, {{"rank", rank}})
+         : obs::kNoSpan;
+  bool failed = false;
   try {
     const int n = c.size();
     // local index within this thread's slice
@@ -158,8 +191,10 @@ sim::Task<void> ring_ag_worker(Communicator& c, int rank, int t,
       out.push_back({t * n + j, std::move(*have[static_cast<std::size_t>(j)])});
     }
   } catch (...) {
+    failed = true;
     if (!error) error = std::current_exception();
   }
+  if (tr) tr->end(span, {{"failed", failed ? 1 : 0}});
   wg.done();
 }
 

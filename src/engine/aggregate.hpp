@@ -13,6 +13,8 @@
 #include "comm/collectives.hpp"
 #include "engine/cluster.hpp"
 #include "engine/rdd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 /// \file aggregate.hpp
 /// The aggregation paths the paper compares (Figure 16):
@@ -85,13 +87,39 @@ struct AggMetrics {
   Duration total() const { return end - start; }
 };
 
-/// The name the paper's API uses for per-job statistics.
-using AggStats = AggMetrics;
-
 namespace detail {
 
 /// Thrown inside a task attempt when the fault plan injects a failure.
 struct TaskFailed {};
+
+/// Publishes a job's AggMetrics into the cluster's MetricsRegistry on scope
+/// exit (normal return or abort), so cluster-lifetime counters absorb the
+/// per-job fields. Declare *after* the job's AggMetrics locals: the guard
+/// reads them in its destructor.
+struct JobMetricsGuard {
+  Cluster* cl;
+  const AggMetrics* m;
+  const char* kind_counter;  ///< e.g. "agg.jobs.split".
+
+  ~JobMetricsGuard() {
+    obs::MetricsRegistry& reg = cl->metrics();
+    reg.add("agg.jobs", 1);
+    reg.add(kind_counter, 1);
+    reg.add("agg.task_retries", m->task_retries);
+    reg.add("agg.stage_restarts", m->stage_restarts);
+    reg.add("agg.ring_stage_attempts", m->ring_stage_attempts);
+    reg.add("agg.recovery_time_ns",
+            static_cast<std::int64_t>(m->recovery_time));
+    reg.add("agg.speculative_launches", m->speculative_launches);
+    reg.add("agg.speculative_wins", m->speculative_wins);
+    // An aborted job never sets `end`; only completed jobs land in the
+    // duration histogram.
+    if (m->end > m->start) {
+      reg.histogram("agg.job_duration_ns")
+          .observe(static_cast<std::int64_t>(m->end - m->start));
+    }
+  }
+};
 
 /// An aggregator sitting at an executor. Plain-stage results are already
 /// serialized (Spark serializes every task result on completion); IMM
@@ -147,6 +175,14 @@ sim::Task<U> compute_attempt(Cluster& cl, CachedRdd<T>& rdd,
                       : schedule_executor(cl, rdd.preferred_executor(id.task));
   if (ran_on) *ran_on = exec_id;
   Executor& ex = cl.executor(exec_id);
+  obs::TraceSink& tr = cl.trace();
+  const Time attempt_start = cl.simulator().now();
+  const obs::SpanId span =
+      tr.begin("compute", "task", obs::exec_pid(exec_id), id.task,
+               {{"job", id.job},
+                {"stage", id.stage},
+                {"task", id.task},
+                {"attempt", id.attempt}});
   const Time dispatched =
       cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
   co_await cl.simulator().sleep_until(dispatched);
@@ -163,9 +199,15 @@ sim::Task<U> compute_attempt(Cluster& cl, CachedRdd<T>& rdd,
                                cl.config().stragglers.factor(exec_id) /
                                cl.spec().rates.core_speed);
   co_await cl.simulator().sleep(cost);
-  if (cl.config().faults.fails(id)) throw TaskFailed{};
-  // The executor died while this task was running: its result is lost.
-  if (!cl.executor_alive(exec_id)) throw TaskFailed{};
+  // Fault-plan failure, or the executor died while this task was running
+  // (that check is omniscient: a lost result is a physical fact).
+  if (cl.config().faults.fails(id) || !cl.executor_alive(exec_id)) {
+    tr.end(span, {{"failed", 1}});
+    throw TaskFailed{};
+  }
+  cl.metrics().histogram("task.duration_ns")
+      .observe(static_cast<std::int64_t>(cl.simulator().now() - attempt_start));
+  tr.end(span);
   co_return agg;
 }
 
@@ -267,6 +309,9 @@ inline void arm_speculation_tick(
             }
             if (target < 0) continue;  // nowhere healthy to duplicate onto.
             ts.speculated = true;
+            cl.trace().instant(
+                "compute", "spec.launch", obs::exec_pid(target), t,
+                {{"task", t}, {"primary_exec", ts.primary_exec}});
             (*launch)(t, target);
           }
         }
@@ -288,6 +333,10 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
     AggMetrics* m, sim::WaitGroup* attempts_wg = nullptr) {
   const int p = rdd.num_partitions();
   std::vector<Blob<U>> out(static_cast<std::size_t>(p));
+  obs::TraceSink& tr = cl.trace();
+  obs::TraceSink::Scope stage_scope(
+      tr, tr.begin("stage", "stage.compute", obs::kDriverPid, 0,
+                   {{"job", job}, {"tasks", p}, {"imm", 0}}));
   sim::WaitGroup wg(cl.simulator());
   wg.add(p);
   std::exception_ptr error;
@@ -300,10 +349,14 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
       try {
         U agg = co_await compute_with_retry(cl, rdd, spec, job, task, m);
         const std::uint64_t nbytes = spec.bytes(agg);
+        const int exec_id = rdd.preferred_executor(task);
         // Vanilla Spark: each task serializes its result immediately upon
         // completion (exactly the overhead IMM removes).
+        const obs::SpanId ser = cl.trace().begin(
+            "ser", "ser.result", obs::exec_pid(exec_id), task,
+            {{"job", job}, {"bytes", static_cast<std::int64_t>(nbytes)}});
         co_await cl.simulator().sleep(cl.ser_time(nbytes));
-        const int exec_id = rdd.preferred_executor(task);
+        cl.trace().end(ser);
         co_await cl.simulator().sleep(cl.control_latency(exec_id));
         (void)cl.driver_loop().enqueue(sim::microseconds(50));
         slot = Blob<U>{std::make_shared<U>(std::move(agg)), nbytes, exec_id,
@@ -370,11 +423,17 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
       race->durations.push_back(cl.simulator().now() - ts.launched);
       if (speculative) {
         if (m) ++m->speculative_wins;
+        cl.trace().instant("compute", "spec.win", obs::exec_pid(ran_exec),
+                           task, {{"task", task}});
         if (ts.primary_exec >= 0) cl.health().record_straggler(ts.primary_exec);
       }
       try {
         const std::uint64_t nbytes = spec.bytes(*agg);
+        const obs::SpanId ser = cl.trace().begin(
+            "ser", "ser.result", obs::exec_pid(ran_exec), task,
+            {{"job", job}, {"bytes", static_cast<std::int64_t>(nbytes)}});
         co_await cl.simulator().sleep(cl.ser_time(nbytes));
+        cl.trace().end(ser);
         co_await cl.simulator().sleep(cl.control_latency(ran_exec));
         (void)cl.driver_loop().enqueue(sim::microseconds(50));
         slot = Blob<U>{std::make_shared<U>(std::move(*agg)), nbytes, ran_exec,
@@ -421,7 +480,11 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
     // not outlive the frames they reference.
     if (error) co_await attempts_wg->wait();
   }
-  if (error) std::rethrow_exception(error);
+  if (error) {
+    stage_scope.close({{"failed", 1}});
+    std::rethrow_exception(error);
+  }
+  stage_scope.close();
   co_return out;
 }
 
@@ -439,7 +502,14 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
     sim::WaitGroup* attempts_wg = nullptr) {
   const int p = rdd.num_partitions();
   const bool speculate = attempts_wg && cl.config().health.speculation;
+  obs::TraceSink& tr = cl.trace();
   for (int stage_attempt = 0;; ++stage_attempt) {
+    obs::TraceSink::Scope stage_scope(
+        tr, tr.begin("stage", "stage.compute", obs::kDriverPid, 0,
+                     {{"job", job},
+                      {"tasks", p},
+                      {"imm", 1},
+                      {"attempt", stage_attempt}}));
     const std::int64_t key = static_cast<std::int64_t>(job);
     bool failed = false;
     std::exception_ptr error;
@@ -462,9 +532,14 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
           co_await obj.lock->acquire();
           sim::SemaphoreGuard g(*obj.lock);
           if (!obj.value) obj.value = std::make_shared<U>(spec.zero);
-          co_await cl.simulator().sleep(cl.merge_cost(spec.bytes(agg)));
+          const std::uint64_t mbytes = spec.bytes(agg);
+          const obs::SpanId merge = cl.trace().begin(
+              "reduce", "imm.merge", obs::exec_pid(exec_id), task,
+              {{"job", job}, {"bytes", static_cast<std::int64_t>(mbytes)}});
+          co_await cl.simulator().sleep(cl.merge_cost(mbytes));
           spec.comb_op(*std::static_pointer_cast<U>(obj.value), agg);
           ++obj.merges;
+          cl.trace().end(merge);
           // Status update carries only (executor id, object id).
           co_await cl.simulator().sleep(cl.control_latency(exec_id));
           (void)cl.driver_loop().enqueue(sim::microseconds(20));
@@ -534,6 +609,8 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
         race->durations.push_back(cl.simulator().now() - ts.launched);
         if (speculative) {
           if (m) ++m->speculative_wins;
+          cl.trace().instant("compute", "spec.win", obs::exec_pid(exec_id),
+                             task, {{"task", task}});
           if (ts.primary_exec >= 0) {
             cl.health().record_straggler(ts.primary_exec);
           }
@@ -544,9 +621,14 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
           co_await obj.lock->acquire();
           sim::SemaphoreGuard g(*obj.lock);
           if (!obj.value) obj.value = std::make_shared<U>(spec.zero);
-          co_await cl.simulator().sleep(cl.merge_cost(spec.bytes(*agg)));
+          const std::uint64_t mbytes = spec.bytes(*agg);
+          const obs::SpanId merge = cl.trace().begin(
+              "reduce", "imm.merge", obs::exec_pid(exec_id), task,
+              {{"job", job}, {"bytes", static_cast<std::int64_t>(mbytes)}});
+          co_await cl.simulator().sleep(cl.merge_cost(mbytes));
           spec.comb_op(*std::static_pointer_cast<U>(obj.value), *agg);
           ++obj.merges;
+          cl.trace().end(merge);
           co_await cl.simulator().sleep(cl.control_latency(exec_id));
           (void)cl.driver_loop().enqueue(sim::microseconds(20));
           ran_on = exec_id;
@@ -592,6 +674,7 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
     if (race) sim::Simulator::cancel(race->tick);
     if (error) {
       if (speculate) co_await attempts_wg->wait();
+      stage_scope.close({{"failed", 1}});
       std::rethrow_exception(error);
     }
     if (!failed) {
@@ -617,9 +700,13 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
         ex.clear_mutable_object(key);
       }
       if (task_exec) *task_exec = std::move(ran_on);
+      stage_scope.close();
       co_return out;
     }
     if (m) ++m->stage_restarts;
+    stage_scope.close({{"failed", 1}});
+    tr.instant("recover", "stage.restart", obs::kDriverPid, 0,
+               {{"job", job}, {"attempt", stage_attempt}});
     for (int e = 0; e < cl.num_executors(); ++e) {
       cl.executor(e).clear_mutable_object(key);
     }
@@ -633,12 +720,15 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
 /// One shuffle-combine reduce task: fetch inputs (concurrently),
 /// deserialize and merge them, re-serialize the result.
 template <typename U>
-sim::Task<Blob<U>> reduce_task(Cluster& cl, std::vector<Blob<U>> inputs,
-                               int dest_exec,
+sim::Task<Blob<U>> reduce_task(Cluster& cl, int job,
+                               std::vector<Blob<U>> inputs, int dest_exec,
                                const std::function<void(U&, const U&)>& comb,
                                const std::function<std::uint64_t(const U&)>&
                                    bytes_of) {
   Executor& ex = cl.executor(dest_exec);
+  const obs::SpanId span = cl.trace().begin(
+      "reduce", "task.combine", obs::exec_pid(dest_exec), 0,
+      {{"job", job}, {"inputs", static_cast<std::int64_t>(inputs.size())}});
   const Time dispatched =
       cl.driver_loop().enqueue(cl.spec().rates.task_dispatch);
   co_await cl.simulator().sleep_until(dispatched);
@@ -679,6 +769,7 @@ sim::Task<Blob<U>> reduce_task(Cluster& cl, std::vector<Blob<U>> inputs,
   co_await cl.simulator().sleep(cl.ser_time(out_bytes));
   co_await cl.simulator().sleep(cl.control_latency(dest_exec));
   (void)cl.driver_loop().enqueue(sim::microseconds(50));
+  cl.trace().end(span, {{"bytes", static_cast<std::int64_t>(out_bytes)}});
   co_return Blob<U>{std::make_shared<U>(std::move(*acc)), out_bytes,
                     dest_exec};
 }
@@ -687,13 +778,14 @@ sim::Task<Blob<U>> reduce_task(Cluster& cl, std::vector<Blob<U>> inputs,
 /// BlockManager fetch) and are deserialized + merged one at a time through
 /// the driver loop.
 template <typename U>
-sim::Task<U> driver_reduce(Cluster& cl, std::vector<Blob<U>> inputs,
+sim::Task<U> driver_reduce(Cluster& cl, int job, std::vector<Blob<U>> inputs,
                            const std::function<void(U&, const U&)>& comb) {
   std::optional<U> acc;
   sim::WaitGroup wg(cl.simulator());
   wg.add(static_cast<std::int64_t>(inputs.size()));
   struct Arrive {
-    static sim::Task<void> go(Cluster& cl, Blob<U> in, std::optional<U>& acc,
+    static sim::Task<void> go(Cluster& cl, int job, Blob<U> in,
+                              std::optional<U>& acc,
                               const std::function<void(U&, const U&)>& comb,
                               sim::WaitGroup& wg) {
       co_await cl.simulator().sleep(cl.control_latency(in.executor));
@@ -706,6 +798,13 @@ sim::Task<U> driver_reduce(Cluster& cl, std::vector<Blob<U>> inputs,
       const Duration work =
           cl.driver_deser_time(in.bytes) + cl.driver_merge_cost(in.bytes);
       const Time done = cl.driver_loop().enqueue(work);
+      // The driver loop is busy on this result over [done - work, done]
+      // (enqueue may queue it behind other driver work).
+      cl.trace().span_at("reduce", "reduce.driver", obs::kDriverPid, 0,
+                         done - work, done,
+                         {{"job", job},
+                          {"from", in.executor},
+                          {"bytes", static_cast<std::int64_t>(in.bytes)}});
       co_await cl.simulator().sleep_until(done);
       if (!acc) {
         acc = *in.value;
@@ -716,7 +815,7 @@ sim::Task<U> driver_reduce(Cluster& cl, std::vector<Blob<U>> inputs,
     }
   };
   for (auto& in : inputs) {
-    cl.simulator().spawn(Arrive::go(cl, in, acc, comb, wg));
+    cl.simulator().spawn(Arrive::go(cl, job, in, acc, comb, wg));
   }
   co_await wg.wait();
   co_return std::move(*acc);
@@ -741,6 +840,11 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->speculative_launches = 0;
   m->speculative_wins = 0;
   HealthJobGuard health_guard(cl.health());
+  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.tree"};
+  obs::TraceSink& tr = cl.trace();
+  obs::TraceSink::Scope job_scope(
+      tr, tr.begin("job", "job.tree_aggregate", obs::kDriverPid, 0,
+                   {{"job", job}}));
   // Counts every racing attempt frame; drained before this frame dies so
   // losing speculative attempts never outlive the state they reference.
   sim::WaitGroup spec_attempts(cl.simulator());
@@ -780,18 +884,19 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     sim::WaitGroup wg(cl.simulator());
     wg.add(num_partitions);
     struct Combine {
-      static sim::Task<void> go(Cluster& cl,
+      static sim::Task<void> go(Cluster& cl, int job,
                                 std::vector<detail::Blob<U>> inputs,
                                 int dest_exec, const TreeAggSpec<T, U>& spec,
                                 detail::Blob<U>& out, sim::WaitGroup& wg) {
-        out = co_await detail::reduce_task<U>(cl, std::move(inputs), dest_exec,
-                                              spec.comb_op, spec.bytes);
+        out = co_await detail::reduce_task<U>(cl, job, std::move(inputs),
+                                              dest_exec, spec.comb_op,
+                                              spec.bytes);
         wg.done();
       }
     };
     for (int j = 0; j < num_partitions; ++j) {
       const int dest = j % cl.num_executors();
-      cl.simulator().spawn(Combine::go(cl,
+      cl.simulator().spawn(Combine::go(cl, job,
                                        std::move(groups[static_cast<std::size_t>(j)]),
                                        dest, spec,
                                        next[static_cast<std::size_t>(j)], wg));
@@ -801,9 +906,14 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   }
 
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-  U result = co_await detail::driver_reduce<U>(cl, std::move(blobs),
+  U result = co_await detail::driver_reduce<U>(cl, job, std::move(blobs),
                                                spec.comb_op);
   m->end = cl.simulator().now();
+  tr.span_at("phase", "agg_compute", obs::kDriverPid, 0, m->start,
+             m->compute_done, {{"job", job}});
+  tr.span_at("phase", "agg_reduce", obs::kDriverPid, 0, m->compute_done,
+             m->end, {{"job", job}});
+  job_scope.close();
   // Drain losing speculative attempts (m->end is already recorded, so the
   // job's measured time excludes zombies running out their last attempt).
   co_await spec_attempts.wait();
@@ -821,7 +931,8 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
 /// survivors, the communicator is rebuilt over the surviving topology, and
 /// the whole ring stage re-runs after an exponential backoff — up to
 /// `max_stage_attempts` times. Attempt counts and the simulated time lost
-/// to recovery land in AggStats.
+/// to recovery land in AggMetrics (and, cluster-lifetime, in the metrics
+/// registry).
 template <typename T, typename U, typename V>
 sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
                              const SplitAggSpec<T, U, V>& spec,
@@ -837,6 +948,11 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->speculative_launches = 0;
   m->speculative_wins = 0;
   HealthJobGuard health_guard(cl.health());
+  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.split"};
+  obs::TraceSink& tr = cl.trace();
+  obs::TraceSink::Scope job_scope(
+      tr, tr.begin("job", "job.split_aggregate", obs::kDriverPid, 0,
+                   {{"job", job}}));
   sim::WaitGroup spec_attempts(cl.simulator());
 
   // Stage 1: reduced-result stage; exactly one aggregator per executor.
@@ -868,8 +984,9 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     // communicator was built: re-deriving it here (rank_of_executor) could
     // trigger a mid-attempt rebuild if another executor has died since,
     // leaving rank and communicator inconsistent.
-    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc, int exec_id,
-                              int rank, const SplitAggSpec<T, U, V>& spec,
+    static sim::Task<void> go(Cluster& cl, int job, comm::Communicator& sc,
+                              int exec_id, int rank,
+                              const SplitAggSpec<T, U, V>& spec,
                               std::shared_ptr<U> local,
                               std::vector<std::pair<int, V>>& all_segs,
                               std::uint64_t& total_v_bytes, sim::WaitGroup& wg,
@@ -899,7 +1016,11 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         // Ship this task's P segments to the driver as its task result.
         std::uint64_t nbytes = 0;
         for (auto& [idx, v] : segs) nbytes += spec.v_bytes(v);
+        const obs::SpanId ser = cl.trace().begin(
+            "ser", "ser.result", obs::exec_pid(exec_id), rank,
+            {{"job", job}, {"bytes", static_cast<std::int64_t>(nbytes)}});
         co_await cl.simulator().sleep(cl.ser_time(nbytes));
+        cl.trace().end(ser);
         co_await cl.simulator().sleep(cl.control_latency(exec_id));
         if (nbytes > detail::kDirectResultLimit) {
           co_await cl.fetch_blob(exec_id, Cluster::kDriver, nbytes);
@@ -920,6 +1041,14 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     m->ring_stage_attempts = ring_attempt;
     const Time attempt_start = cl.simulator().now();
     bool attempt_failed = false;
+    // The attempt span opens at attempt_start and, on failure, closes at
+    // the instant the collective failure surfaces — making the failed span
+    // plus the detect.settle and recover.backoff spans below exactly the
+    // contiguous interval recovery_time accrues (obs::recovery_from_trace
+    // reconstructs it from these three).
+    obs::TraceSink::Scope attempt_scope(
+        tr, tr.begin("stage", "stage.ring", obs::kDriverPid, 0,
+                     {{"job", job}, {"attempt", ring_attempt}}));
     try {
       co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
       // Fix the ring membership FIRST: the communicator spans the executors
@@ -941,6 +1070,12 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
             std::move(owned[static_cast<std::size_t>(e)]);
         owned[static_cast<std::size_t>(e)].clear();
         per_exec[static_cast<std::size_t>(e)].reset();
+        obs::TraceSink::Scope refold_scope(
+            tr, tr.begin("recover", "recover.refold", obs::kDriverPid, 0,
+                         {{"job", job},
+                          {"executor", e},
+                          {"partitions",
+                           static_cast<std::int64_t>(lost.size())}}));
         for (int pid : lost) {
           int ran_on = -1;
           U agg = co_await detail::compute_with_retry(
@@ -964,7 +1099,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         auto localv = per_exec[static_cast<std::size_t>(e)];
         // Executors that received no partition contribute a zero aggregator.
         if (!localv) localv = std::make_shared<U>(spec.base.zero);
-        cl.simulator().spawn(RingTask::go(cl, sc, e, r, spec,
+        cl.simulator().spawn(RingTask::go(cl, job, sc, e, r, spec,
                                           std::move(localv), all_segs,
                                           total_v_bytes, wg, error));
       }
@@ -978,6 +1113,12 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       co_await cl.simulator().sleep_until(done);
       V result = spec.concat_op(all_segs);
       m->end = cl.simulator().now();
+      attempt_scope.close();
+      tr.span_at("phase", "agg_compute", obs::kDriverPid, 0, m->start,
+                 m->compute_done, {{"job", job}});
+      tr.span_at("phase", "agg_reduce", obs::kDriverPid, 0, m->compute_done,
+                 m->end, {{"job", job}});
+      job_scope.close();
       co_await spec_attempts.wait();
       co_return result;
     } catch (const comm::CollectiveFailed&) {
@@ -985,6 +1126,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       // stale in-flight messages) is retired; the next attempt gets a
       // fresh one over the surviving topology.
       cl.invalidate_scalable_comm();
+      attempt_scope.close({{"failed", 1}});
       attempt_failed = true;
     }
     if (attempt_failed) {
@@ -999,11 +1141,21 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       // out detection (bounded by executor_timeout); the wait lands in
       // recovery_time, which is exactly what makes detection latency a
       // measurable recovery component.
+      const obs::SpanId detect =
+          tr.begin("detect", "detect.settle", obs::kDriverPid, 0,
+                   {{"job", job}, {"attempt", ring_attempt}});
       co_await cl.health().await_settled();
+      tr.end(detect);
       // Exponential backoff before re-running the stage.
       const Duration backoff = cl.config().stage_retry_backoff
                                << (ring_attempt - 1);
+      const obs::SpanId pause =
+          tr.begin("recover", "recover.backoff", obs::kDriverPid, 0,
+                   {{"job", job},
+                    {"attempt", ring_attempt},
+                    {"backoff_ns", static_cast<std::int64_t>(backoff)}});
       co_await cl.simulator().sleep(backoff);
+      tr.end(pause);
       m->recovery_time += cl.simulator().now() - attempt_start;
     }
   }
@@ -1034,6 +1186,11 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
   m->speculative_launches = 0;
   m->speculative_wins = 0;
   HealthJobGuard health_guard(cl.health());
+  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.allreduce"};
+  obs::TraceSink& tr = cl.trace();
+  obs::TraceSink::Scope job_scope(
+      tr, tr.begin("job", "job.split_allreduce", obs::kDriverPid, 0,
+                   {{"job", job}}));
   sim::WaitGroup spec_attempts(cl.simulator());
 
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
@@ -1111,6 +1268,11 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
     m->ring_stage_attempts = ring_attempt;
     const Time attempt_start = cl.simulator().now();
     bool attempt_failed = false;
+    // Same failed-span / detect / backoff contiguity contract as the ring
+    // stage of split_aggregate (obs::recovery_from_trace relies on it).
+    obs::TraceSink::Scope attempt_scope(
+        tr, tr.begin("stage", "stage.allreduce", obs::kDriverPid, 0,
+                     {{"job", job}, {"attempt", ring_attempt}}));
     try {
       co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
       // Membership first, then refold against the same snapshot (see
@@ -1125,6 +1287,12 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
             std::move(owned[static_cast<std::size_t>(e)]);
         owned[static_cast<std::size_t>(e)].clear();
         per_exec[static_cast<std::size_t>(e)].reset();
+        obs::TraceSink::Scope refold_scope(
+            tr, tr.begin("recover", "recover.refold", obs::kDriverPid, 0,
+                         {{"job", job},
+                          {"executor", e},
+                          {"partitions",
+                           static_cast<std::int64_t>(lost.size())}}));
         for (int pid : lost) {
           int ran_on = -1;
           U agg = co_await detail::compute_with_retry(
@@ -1153,10 +1321,17 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
       co_await wg.wait();
       if (error) std::rethrow_exception(error);
       m->end = cl.simulator().now();
+      attempt_scope.close();
+      tr.span_at("phase", "agg_compute", obs::kDriverPid, 0, m->start,
+                 m->compute_done, {{"job", job}});
+      tr.span_at("phase", "agg_reduce", obs::kDriverPid, 0, m->compute_done,
+                 m->end, {{"job", job}});
+      job_scope.close();
       co_await spec_attempts.wait();
       co_return std::move(*result);
     } catch (const comm::CollectiveFailed&) {
       cl.invalidate_scalable_comm();
+      attempt_scope.close({{"failed", 1}});
       attempt_failed = true;
     }
     if (attempt_failed) {
@@ -1166,10 +1341,20 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         throw std::runtime_error(
             "allreduce stage exceeded max attempts; job aborted");
       }
+      const obs::SpanId detect =
+          tr.begin("detect", "detect.settle", obs::kDriverPid, 0,
+                   {{"job", job}, {"attempt", ring_attempt}});
       co_await cl.health().await_settled();
+      tr.end(detect);
       const Duration backoff = cl.config().stage_retry_backoff
                                << (ring_attempt - 1);
+      const obs::SpanId pause =
+          tr.begin("recover", "recover.backoff", obs::kDriverPid, 0,
+                   {{"job", job},
+                    {"attempt", ring_attempt},
+                    {"backoff_ns", static_cast<std::int64_t>(backoff)}});
       co_await cl.simulator().sleep(backoff);
+      tr.end(pause);
       m->recovery_time += cl.simulator().now() - attempt_start;
     }
   }

@@ -18,7 +18,15 @@ const char* to_string(AggMode m) {
 
 Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
     : sim_(&sim), spec_(std::move(spec)), cfg_(cfg), driver_loop_(sim) {
+  trace_ = std::make_unique<obs::TraceSink>(sim, cfg_.trace.enabled);
   fabric_ = std::make_unique<net::Fabric>(sim, spec_.fabric, spec_.num_nodes);
+  if (cfg_.trace.enabled && cfg_.trace.net) fabric_->set_trace(trace_.get());
+  if (cfg_.trace.enabled && cfg_.trace.sim_counters) {
+    // One probe per simulator; a second traced cluster on the same sim
+    // would displace the first (and the destructor only clears its own).
+    sim_probe_ = std::make_unique<obs::SimQueueProbe>(*trace_);
+    sim.set_probe(sim_probe_.get());
+  }
   const auto infos =
       comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
   executors_.reserve(infos.size());
@@ -29,8 +37,15 @@ Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
   }
   health_ = std::make_unique<HealthMonitor>(
       sim, fabric_->faults(), num_executors(), cfg_.health,
-      [this](int e) { return control_latency(e); }, &driver_loop_);
+      [this](int e) { return control_latency(e); }, &driver_loop_,
+      trace_.get(), &metrics_);
   if (!cfg_.fault_schedule.empty()) arm_faults();
+}
+
+Cluster::~Cluster() {
+  if (sim_probe_ && sim_->probe() == sim_probe_.get()) {
+    sim_->set_probe(nullptr);
+  }
 }
 
 void Cluster::arm_faults() {
@@ -99,6 +114,10 @@ sim::Task<void> Cluster::fetch_blob(int from, int to, std::uint64_t bytes) {
   DemuxConn& dc = demux(from, to);
   const int tag = fetch_seq_++;
   auto& slot = dc.slot(tag);
+  const obs::SpanId span = trace_->begin(
+      "fetch", to == kDriver ? "fetch.driver" : "fetch.exec",
+      to == kDriver ? obs::kDriverPid : obs::exec_pid(to), 0,
+      {{"from", from}, {"to", to}, {"bytes", static_cast<std::int64_t>(bytes)}});
   // Fetch request travels one control hop before the source starts sending.
   const int dst_host = (to == kDriver) ? driver_host() : executor(to).host();
   const int src_host =
@@ -110,6 +129,7 @@ sim::Task<void> Cluster::fetch_blob(int from, int to, std::uint64_t bytes) {
   dc.conn.post(std::move(m));
   (void)co_await slot.recv();
   dc.slots.erase(tag);
+  trace_->end(span);
 }
 
 void Cluster::rebuild_comm() {

@@ -14,6 +14,8 @@
 #include "net/cluster.hpp"
 #include "net/connection.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -84,12 +86,27 @@ class Cluster {
   Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg = {});
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
+  ~Cluster();
 
   sim::Simulator& simulator() noexcept { return *sim_; }
   net::Fabric& fabric() noexcept { return *fabric_; }
   const net::ClusterSpec& spec() const noexcept { return spec_; }
   EngineConfig& config() noexcept { return cfg_; }
   const EngineConfig& config() const noexcept { return cfg_; }
+
+  // ---- observability ------------------------------------------------------
+
+  /// The cluster's trace sink. Always constructed (so call sites need no
+  /// null checks) but disabled — and therefore recording nothing — unless
+  /// `EngineConfig::trace.enabled` was set at construction.
+  obs::TraceSink& trace() noexcept { return *trace_; }
+  const obs::TraceSink& trace() const noexcept { return *trace_; }
+
+  /// Cluster-lifetime metrics: job counters published from AggMetrics,
+  /// health transitions, task-duration histograms. Always on (it never
+  /// touches simulated time).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
   int num_executors() const noexcept {
     return static_cast<int>(executors_.size());
@@ -225,6 +242,9 @@ class Cluster {
   sim::Simulator* sim_;
   net::ClusterSpec spec_;
   EngineConfig cfg_;
+  std::unique_ptr<obs::TraceSink> trace_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::SimQueueProbe> sim_probe_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Executor>> executors_;
   std::unique_ptr<HealthMonitor> health_;

@@ -138,6 +138,17 @@ struct HealthConfig {
   sim::Duration quarantine_duration = sim::seconds(10);
 };
 
+/// Observability knobs. Tracing is recording-only — it never schedules sim
+/// events or charges simulated time, so enabling it cannot change results
+/// — but it does allocate per event, hence off by default.
+struct TraceConfig {
+  bool enabled = false;
+  /// Also trace per-message network transmits (the chattiest category).
+  bool net = true;
+  /// Also sample sim-kernel queue-depth counters via the step probe.
+  bool sim_counters = true;
+};
+
 /// Per-executor compute slowdown multipliers (straggler model); executors
 /// not present run at speed 1.
 struct StragglerPlan {
@@ -175,6 +186,7 @@ struct EngineConfig {
   FaultSchedule fault_schedule{};
   StragglerPlan stragglers{};
   HealthConfig health{};
+  TraceConfig trace{};
 };
 
 }  // namespace sparker::engine

@@ -8,6 +8,8 @@
 
 #include "engine/config.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -63,17 +65,30 @@ class HealthMonitor {
   /// `hb_latency(e)` is the one-way control-plane latency of executor e's
   /// heartbeat; `driver_loop` (optional) books a tiny per-heartbeat service
   /// on the driver's event loop. `cfg` is referenced, not copied, so tests
-  /// may tweak knobs after cluster construction.
+  /// may tweak knobs after cluster construction. `trace` and `metrics`
+  /// (both optional) receive health transition events and counters; the
+  /// owner must keep them alive for the monitor's lifetime.
   HealthMonitor(sim::Simulator& sim, net::FaultFabric& faults,
                 int num_executors, const HealthConfig& cfg,
                 std::function<Duration(int)> hb_latency,
-                sim::FifoServer* driver_loop)
+                sim::FifoServer* driver_loop,
+                obs::TraceSink* trace = nullptr,
+                obs::MetricsRegistry* metrics = nullptr)
       : sim_(&sim),
         faults_(&faults),
         cfg_(&cfg),
         hb_latency_(std::move(hb_latency)),
         driver_loop_(driver_loop),
-        execs_(static_cast<std::size_t>(num_executors)) {}
+        trace_(trace),
+        metrics_(metrics),
+        execs_(static_cast<std::size_t>(num_executors)) {
+    if (metrics_) {
+      // Heartbeats are the one high-frequency path; resolve the counter
+      // reference once (std::map nodes are stable) instead of a map lookup
+      // per beat.
+      hb_counter_ = &metrics_->counter("health.heartbeats_received");
+    }
+  }
   HealthMonitor(const HealthMonitor&) = delete;
   HealthMonitor& operator=(const HealthMonitor&) = delete;
 
@@ -212,13 +227,17 @@ class HealthMonitor {
       st.in_quarantine = false;
       st.quarantine_until = sim::kTimeNever;
       ++stats_.rejoins;
+      if (metrics_) metrics_->add("health.rejoins", 1);
+      if (trace_) {
+        trace_->instant("health", "health.rejoin", obs::exec_pid(e), 0,
+                        {{"executor", e}});
+      }
       // Readmitted with a clean slate (and a heartbeat grace period).
       st.failures = 0;
       st.straggles = 0;
       if (st.status != Status::kDead) st.last_hb = sim_->now();
       // The heartbeat chain kept running through the quarantine, so a live
       // executor is immediately fresh; a dead one will be detected normally.
-      (void)e;
     }
   }
 
@@ -228,7 +247,13 @@ class HealthMonitor {
     st.failures = 0;
     st.straggles = 0;
     ++stats_.quarantine_events;
-    (void)e;
+    if (metrics_) metrics_->add("health.quarantines", 1);
+    if (trace_) {
+      trace_->instant(
+          "health", "health.quarantine", obs::exec_pid(e), 0,
+          {{"executor", e},
+           {"until_ns", static_cast<std::int64_t>(st.quarantine_until)}});
+    }
   }
 
   /// Executor-side send at `send_at`; the arrival lands one control hop
@@ -245,6 +270,11 @@ class HealthMonitor {
                 ExecState& st = execs_[static_cast<std::size_t>(e)];
                 st.last_hb = arrive;
                 ++stats_.heartbeats_received;
+                if (hb_counter_) ++*hb_counter_;
+                if (trace_) {
+                  trace_->instant("health", "health.hb", obs::exec_pid(e), 0,
+                                  {{"executor", e}});
+                }
                 if (st.status == Status::kSuspect) st.status = Status::kHealthy;
                 if (driver_loop_) {
                   (void)driver_loop_->enqueue(sim::microseconds(5));
@@ -275,10 +305,27 @@ class HealthMonitor {
               stats_.total_detection_latency += latency;
               stats_.max_detection_latency =
                   std::max(stats_.max_detection_latency, latency);
+              if (metrics_) {
+                metrics_->add("health.declared_dead", 1);
+                metrics_->histogram("health.detection_latency_ns")
+                    .observe(static_cast<std::int64_t>(latency));
+              }
+              if (trace_) {
+                trace_->instant(
+                    "health", "health.dead", obs::exec_pid(e), 0,
+                    {{"executor", e},
+                     {"detection_latency_ns",
+                      static_cast<std::int64_t>(latency)}});
+              }
             } else if (age > cfg_->heartbeat_timeout) {
               if (st.status == Status::kHealthy) {
                 st.status = Status::kSuspect;
                 ++stats_.suspect_transitions;
+                if (metrics_) metrics_->add("health.suspects", 1);
+                if (trace_) {
+                  trace_->instant("health", "health.suspect", obs::exec_pid(e),
+                                  0, {{"executor", e}});
+                }
               }
             }
           }
@@ -292,6 +339,9 @@ class HealthMonitor {
   const HealthConfig* cfg_;
   std::function<Duration(int)> hb_latency_;
   sim::FifoServer* driver_loop_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::int64_t* hb_counter_ = nullptr;
   std::vector<ExecState> execs_;
   HealthStats stats_;
   int active_jobs_ = 0;

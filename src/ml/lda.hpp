@@ -149,6 +149,8 @@ inline sim::Task<LdaResult> train_lda(engine::Cluster& cl,
     sim::Time t0 = sim.now();
     co_await broadcast_blob(
         cl, static_cast<std::uint64_t>(modeled_cells * sizeof(double)));
+    cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0, sim.now(),
+                       {{"iter", iter}});
     result.breakdown.non_agg += sim.now() - t0;
 
     // --- Aggregation: distributed E-step ------------------------------------
@@ -205,6 +207,8 @@ inline sim::Task<LdaResult> train_lda(engine::Cluster& cl,
     co_await sim.sleep(static_cast<sim::Duration>(
         cfg.sampling_pass_frac *
         static_cast<double>(metrics.compute_time())));
+    cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0, sim.now(),
+                       {{"iter", iter}});
     result.breakdown.non_agg += sim.now() - t0;
 
     // --- Driver: M-step ------------------------------------------------------
@@ -222,6 +226,8 @@ inline sim::Task<LdaResult> train_lda(engine::Cluster& cl,
     }
     co_await sim.sleep(static_cast<sim::Duration>(
         cfg.driver_passes * modeled_cells * cfg.driver_flop_ns));
+    cl.trace().span_at("phase", "driver", obs::kDriverPid, 0, t0, sim.now(),
+                       {{"iter", iter}});
     result.breakdown.driver += sim.now() - t0;
   }
   result.beta = std::move(beta);

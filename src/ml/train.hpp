@@ -136,6 +136,8 @@ inline sim::Task<TrainResult> train_linear(
       co_await broadcast_blob(
           cl, static_cast<std::uint64_t>(modeled_dim) * sizeof(double));
     }
+    cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0, sim.now(),
+                       {{"iter", iter}});
     result.breakdown.non_agg += sim.now() - t0;
 
     // --- Aggregation: distributed gradient ---------------------------------
@@ -164,6 +166,8 @@ inline sim::Task<TrainResult> train_linear(
     co_await sim.sleep(static_cast<sim::Duration>(
         cfg.sampling_pass_frac *
         static_cast<double>(metrics.compute_time())));
+    cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0, sim.now(),
+                       {{"iter", iter}});
     result.breakdown.non_agg += sim.now() - t0;
 
     // --- Driver: optimizer update ------------------------------------------
@@ -194,8 +198,12 @@ inline sim::Task<TrainResult> train_linear(
     if (allreduce_mode) {
       // The update runs as identical replicas on the executors — scalable
       // work, not driver time.
+      cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0,
+                         sim.now(), {{"iter", iter}});
       result.breakdown.non_agg += sim.now() - t0;
     } else {
+      cl.trace().span_at("phase", "driver", obs::kDriverPid, 0, t0, sim.now(),
+                         {{"iter", iter}});
       result.breakdown.driver += sim.now() - t0;
     }
   }

@@ -77,18 +77,38 @@ class Connection {
   std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
 
  private:
+  // Each directed host link gets its own track under the network
+  // pseudo-process.
+  int trace_tid() const noexcept { return src_host_ * 256 + dst_host_; }
+
   sim::Task<void> pump() {
     for (;;) {
       Message m = co_await outbox_.recv();
+      obs::TraceSink* tr = fabric_->trace();
       // Host-level faults: a dead host or severed host link silently loses
       // the message — like a real TCP connection, loss surfaces at the
       // receiver as a hung recv (timeout), not as a sender error.
       FaultFabric& faults = fabric_->faults();
       if (!faults.host_alive(src_host_) || !faults.host_alive(dst_host_) ||
           !faults.host_link_up(src_host_, dst_host_)) {
+        if (tr) {
+          tr->instant("net", "net.drop", obs::kNetPid, trace_tid(),
+                      {{"src", src_host_},
+                       {"dst", dst_host_},
+                       {"bytes", static_cast<std::int64_t>(m.bytes)},
+                       {"channel", m.channel}});
+        }
         continue;
       }
+      const obs::SpanId span =
+          tr ? tr->begin("net", "net.tx", obs::kNetPid, trace_tid(),
+                         {{"src", src_host_},
+                          {"dst", dst_host_},
+                          {"bytes", static_cast<std::int64_t>(m.bytes)},
+                          {"channel", m.channel}})
+             : obs::kNoSpan;
       co_await transmit(m);
+      if (tr) tr->end(span);
       bytes_delivered_ += m.bytes;
       inbox_.send(std::move(m));
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/fault.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
 #include "sim/types.hpp"
@@ -93,6 +94,13 @@ class Fabric {
   FaultFabric& faults() noexcept { return faults_; }
   const FaultFabric& faults() const noexcept { return faults_; }
 
+  /// Optional trace sink for per-message transmit spans and fault/GC
+  /// instants. Null (the default) disables network tracing; the owner of
+  /// the sink (the engine cluster, or a bench wiring a raw fabric) must
+  /// keep it alive for the fabric's lifetime.
+  void set_trace(obs::TraceSink* trace) noexcept { trace_ = trace; }
+  obs::TraceSink* trace() const noexcept { return trace_; }
+
   /// Records `bytes` of JVM-managed traffic on a host; injects a NIC stall
   /// when the modeled GC threshold is crossed.
   void charge_jvm_bytes(int host_id, double bytes) {
@@ -104,6 +112,12 @@ class Fabric {
       const Time resume = sim_->now() + params_.gc.pause;
       h.egress.block_until(resume);
       h.ingress.block_until(resume);
+      if (trace_) {
+        trace_->instant("net", "gc.pause", obs::kNetPid, host_id,
+                        {{"host", host_id},
+                         {"pause_ns",
+                          static_cast<std::int64_t>(params_.gc.pause)}});
+      }
     }
   }
 
@@ -111,6 +125,7 @@ class Fabric {
   sim::Simulator* sim_;
   FabricParams params_;
   FaultFabric faults_;
+  obs::TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<Host>> hosts_;
 };
 

@@ -1,0 +1,499 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+namespace sparker::obs {
+
+namespace {
+
+// ns -> µs with nanosecond precision, deterministic formatting.
+void append_us(std::string& out, sim::Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(t / 1000),
+                static_cast<unsigned long long>(t % 1000));
+  out += buf;
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out.push_back('"');
+  for (const char* p = s; *p; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(*p);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_args(std::string& out, const TraceEvent& ev, bool unclosed) {
+  out += "\"args\":{";
+  bool first = true;
+  for (const Arg& a : ev.args) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, a.key);
+    out.push_back(':');
+    out += std::to_string(a.value);
+  }
+  if (unclosed) {
+    if (!first) out.push_back(',');
+    out += "\"unclosed\":1";
+  }
+  out.push_back('}');
+}
+
+std::string process_name(int pid) {
+  if (pid == kDriverPid) return "driver";
+  if (pid == kSimPid) return "sim kernel";
+  if (pid == kNetPid) return "network";
+  if (pid >= kExecPidBase) {
+    return "executor " + std::to_string(pid - kExecPidBase);
+  }
+  return "pid " + std::to_string(pid);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSink& sink) {
+  const std::vector<TraceEvent>& events = sink.events();
+
+  // Open spans are closed at the trace's maximum timestamp so the file is
+  // always loadable; the lint still flags them via the "unclosed" arg.
+  sim::Time max_ts = 0;
+  std::set<int> pids;
+  for (const TraceEvent& ev : events) {
+    max_ts = std::max(max_ts, ev.ts);
+    if (ev.kind == EventKind::kSpan && !ev.is_open_span()) {
+      max_ts = std::max(max_ts, ev.end);
+    }
+    pids.insert(ev.pid);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n";
+  };
+
+  for (int pid : pids) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":";
+    append_json_string(out, process_name(pid).c_str());
+    out += "}}";
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"sort_index\":" +
+           std::to_string(pid) + "}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    sep();
+    switch (ev.kind) {
+      case EventKind::kSpan: {
+        const bool unclosed = ev.is_open_span();
+        const sim::Time end =
+            unclosed ? std::max(max_ts, ev.ts) : std::max(ev.end, ev.ts);
+        out += "{\"ph\":\"X\",\"name\":";
+        append_json_string(out, ev.name);
+        out += ",\"cat\":";
+        append_json_string(out, ev.cat);
+        out += ",\"pid\":" + std::to_string(ev.pid) +
+               ",\"tid\":" + std::to_string(ev.tid) + ",\"ts\":";
+        append_us(out, ev.ts);
+        out += ",\"dur\":";
+        append_us(out, end - ev.ts);
+        out.push_back(',');
+        append_args(out, ev, unclosed);
+        out.push_back('}');
+        break;
+      }
+      case EventKind::kInstant: {
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":";
+        append_json_string(out, ev.name);
+        out += ",\"cat\":";
+        append_json_string(out, ev.cat);
+        out += ",\"pid\":" + std::to_string(ev.pid) +
+               ",\"tid\":" + std::to_string(ev.tid) + ",\"ts\":";
+        append_us(out, ev.ts);
+        out.push_back(',');
+        append_args(out, ev, false);
+        out.push_back('}');
+        break;
+      }
+      case EventKind::kCounter: {
+        out += "{\"ph\":\"C\",\"name\":";
+        append_json_string(out, ev.name);
+        out += ",\"pid\":" + std::to_string(ev.pid) + ",\"tid\":0,\"ts\":";
+        append_us(out, ev.ts);
+        out += ",\"args\":{\"value\":" + std::to_string(ev.value) + "}}";
+        break;
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const TraceSink& sink, const std::string& path) {
+  const std::string json = chrome_trace_json(sink);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
+}
+
+SinkLintResult lint(const TraceSink& sink) {
+  SinkLintResult r;
+  r.events = sink.size();
+  for (const TraceEvent& ev : sink.events()) {
+    if (ev.kind != EventKind::kSpan) continue;
+    ++r.spans;
+    if (ev.is_open_span()) {
+      ++r.open_spans;
+    } else if (ev.end < ev.ts) {
+      ++r.negative_durations;
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON validator that, while checking syntax,
+/// inspects each object inside the top-level "traceEvents" array for the
+/// span shape checks. No DOM is built.
+class TraceLinter {
+ public:
+  TraceLinter(const std::string& text, FileLintResult& r)
+      : s_(text), r_(&r) {}
+
+  bool run() {
+    skip_ws();
+    if (!value(0, Role::kRoot)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing data after JSON value");
+    return true;
+  }
+
+ private:
+  // Where the current value sits relative to the traceEvents array.
+  enum class Role { kRoot, kPlain, kEventsArray, kEventObject, kEventInner };
+
+  bool fail(const char* msg) {
+    if (r_->error.empty()) {
+      r_->error = std::string(msg) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool value(int depth, Role role) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object(depth, role);
+    if (c == '[') return array(depth, role);
+    if (c == '"') {
+      std::string str;
+      return string_lit(&str);
+    }
+    if (c == 't') return keyword("true");
+    if (c == 'f') return keyword("false");
+    if (c == 'n') return keyword("null");
+    double num;
+    return number_lit(&num);
+  }
+
+  bool keyword(const char* kw) {
+    const std::size_t n = std::strlen(kw);
+    if (s_.compare(pos_, n, kw) != 0) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool string_lit(std::string* out) {
+    if (s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_];
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return fail("bad \\u escape");
+          pos_ += 4;
+        } else if (!std::strchr("\"\\/bfnrt", e)) {
+          return fail("bad escape character");
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      } else {
+        out->push_back(c);
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number_lit(double* out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return fail("expected value");
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool object(int depth, Role role) {
+    ++pos_;  // '{'
+    Ev ev;
+    Ev* saved = cur_;
+    if (role == Role::kEventObject) cur_ = &ev;
+
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string_lit(&key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+
+        Role child = Role::kPlain;
+        if (role == Role::kRoot && key == "traceEvents") {
+          child = Role::kEventsArray;
+        } else if (role == Role::kEventObject || role == Role::kEventInner) {
+          child = Role::kEventInner;
+        }
+
+        skip_ws();
+        if (cur_ && role == Role::kEventObject && key == "ph" &&
+            pos_ < s_.size() && s_[pos_] == '"') {
+          std::string ph;
+          if (!string_lit(&ph)) return false;
+          if (ph == "X") cur_->is_span = true;
+        } else if (cur_ && role == Role::kEventObject && key == "dur") {
+          double d;
+          if (!number_lit(&d)) return false;
+          cur_->has_dur = true;
+          cur_->dur = d;
+        } else {
+          if (cur_ && key == "unclosed" &&
+              (role == Role::kEventObject || role == Role::kEventInner)) {
+            cur_->unclosed = true;
+          }
+          if (!value(depth + 1, child)) return false;
+        }
+
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated object");
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          break;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+
+    cur_ = saved;
+    if (role == Role::kEventObject) {
+      ++r_->events;
+      if (ev.is_span) {
+        ++r_->spans;
+        if (!ev.has_dur) {
+          ++r_->spans_missing_dur;
+        } else if (ev.dur < 0) {
+          ++r_->negative_durations;
+        }
+        if (ev.unclosed) ++r_->unclosed;
+      }
+    }
+    return true;
+  }
+
+  bool array(int depth, Role role) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Role child = Role::kPlain;
+      if (role == Role::kEventsArray) {
+        child = (pos_ < s_.size() && s_[pos_] == '{') ? Role::kEventObject
+                                                      : Role::kPlain;
+      } else if (role == Role::kEventInner) {
+        child = Role::kEventInner;
+      }
+      if (!value(depth + 1, child)) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  // Shape capture for the event object currently being parsed. Event
+  // objects never nest inside each other, but their args objects do nest
+  // inside them, so the pointer is saved/restored around every object.
+  struct Ev {
+    bool is_span = false;
+    bool has_dur = false;
+    double dur = 0;
+    bool unclosed = false;
+  };
+
+  const std::string& s_;
+  FileLintResult* r_;
+  std::size_t pos_ = 0;
+  Ev* cur_ = nullptr;
+};
+
+}  // namespace
+
+FileLintResult lint_chrome_trace_text(const std::string& text) {
+  FileLintResult r;
+  TraceLinter linter(text, r);
+  r.parsed = linter.run();
+  return r;
+}
+
+PhaseBreakdown phase_breakdown(const TraceSink& sink) {
+  PhaseBreakdown b;
+  for (const TraceEvent& ev : sink.events()) {
+    if (ev.kind != EventKind::kSpan || ev.is_open_span()) continue;
+    if (std::strcmp(ev.cat, "phase") != 0) continue;
+    const sim::Duration d = ev.duration();
+    if (std::strcmp(ev.name, "driver") == 0) {
+      b.driver += d;
+    } else if (std::strcmp(ev.name, "non_agg") == 0) {
+      b.non_agg += d;
+    } else if (std::strcmp(ev.name, "agg_compute") == 0) {
+      b.agg_compute += d;
+    } else if (std::strcmp(ev.name, "agg_reduce") == 0) {
+      b.agg_reduce += d;
+    }
+  }
+  return b;
+}
+
+DetailReport detail_report(const TraceSink& sink) {
+  DetailReport report;
+  auto bump = [](StageBreakdown& b, const TraceEvent& ev, sim::Duration d) {
+    if (std::strcmp(ev.cat, "compute") == 0) {
+      b.compute += d;
+    } else if (std::strcmp(ev.cat, "reduce") == 0) {
+      b.reduce += d;
+    } else if (std::strcmp(ev.cat, "ser") == 0) {
+      b.ser += d;
+    } else if (std::strcmp(ev.cat, "fetch") == 0) {
+      if (std::strcmp(ev.name, "fetch.driver") == 0) b.driver_fetch += d;
+    } else if (std::strcmp(ev.cat, "detect") == 0) {
+      b.detect += d;
+    } else if (std::strcmp(ev.cat, "recover") == 0) {
+      b.recover += d;
+    }
+  };
+  for (const TraceEvent& ev : sink.events()) {
+    if (ev.kind != EventKind::kSpan || ev.is_open_span()) continue;
+    // Spans from failed attempts are mostly time spent blocked on a peer
+    // that will never answer (hang-until-timeout); that interval is already
+    // attributed to recovery via the failed stage span, so counting it as
+    // busy work would double-book it and dwarf the real numbers.
+    if (ev.arg("failed", 0) == 1) continue;
+    const sim::Duration d = ev.duration();
+    bump(report.total, ev, d);
+    const std::int64_t job = ev.arg("job", -1);
+    if (job >= 0) bump(report.per_job[job], ev, d);
+  }
+  return report;
+}
+
+std::string format_detail_report(const DetailReport& report) {
+  std::string out =
+      "trace breakdown (busy seconds by category; overlapping executors, so "
+      "columns need not sum to wall-clock):\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "  %8s %10s %10s %10s %12s %10s %10s\n",
+                "job", "compute", "reduce", "ser", "driver-fetch", "detect",
+                "recover");
+  out += buf;
+  auto row = [&](const std::string& label, const StageBreakdown& b) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %8s %10.4f %10.4f %10.4f %12.4f %10.4f %10.4f\n",
+                  label.c_str(), sim::to_seconds(b.compute),
+                  sim::to_seconds(b.reduce), sim::to_seconds(b.ser),
+                  sim::to_seconds(b.driver_fetch), sim::to_seconds(b.detect),
+                  sim::to_seconds(b.recover));
+    out += buf;
+  };
+  for (const auto& [job, b] : report.per_job) row(std::to_string(job), b);
+  row("all", report.total);
+  return out;
+}
+
+sim::Duration recovery_from_trace(const TraceSink& sink) {
+  sim::Duration total = 0;
+  for (const TraceEvent& ev : sink.events()) {
+    if (ev.kind != EventKind::kSpan || ev.is_open_span()) continue;
+    if (std::strcmp(ev.cat, "stage") == 0 &&
+        std::strncmp(ev.name, "stage.", 6) == 0 &&
+        std::strcmp(ev.name, "stage.compute") != 0 && ev.arg("failed") == 1) {
+      total += ev.duration();
+    } else if (std::strcmp(ev.cat, "detect") == 0) {
+      total += ev.duration();
+    } else if (std::strcmp(ev.cat, "recover") == 0 &&
+               std::strcmp(ev.name, "recover.backoff") == 0) {
+      total += ev.duration();
+    }
+  }
+  return total;
+}
+
+}  // namespace sparker::obs

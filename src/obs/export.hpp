@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "sim/types.hpp"
+
+/// \file export.hpp
+/// Consumers of a recorded TraceSink: the Chrome `trace_event` JSON
+/// exporter (loadable in Perfetto / chrome://tracing), well-formedness
+/// lints, and the trace-derived time breakdowns that replace the benches'
+/// ad-hoc accounting.
+
+namespace sparker::obs {
+
+/// Renders the sink as Chrome trace_event JSON ("X" complete spans, "i"
+/// instants, "C" counters, "M" process-name metadata). Timestamps are
+/// emitted in microseconds with nanosecond precision ("%llu.%03llu"), so
+/// identical sinks render byte-identically. Spans still open at export time
+/// are closed at the trace's maximum timestamp and tagged with an
+/// `"unclosed": 1` arg, which the lint flags.
+std::string chrome_trace_json(const TraceSink& sink);
+
+/// Writes chrome_trace_json() to `path`; false (with a stderr warning) on
+/// I/O failure.
+bool write_chrome_trace(const TraceSink& sink, const std::string& path);
+
+/// In-memory well-formedness check of a recorded sink.
+struct SinkLintResult {
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t open_spans = 0;           ///< begun but never ended
+  std::size_t negative_durations = 0;   ///< end < ts (impossible by design)
+  bool ok() const { return open_spans == 0 && negative_durations == 0; }
+};
+SinkLintResult lint(const TraceSink& sink);
+
+/// File-level lint of an exported trace: the text must be valid JSON, every
+/// "X" span must carry a non-negative dur, and no span may be tagged
+/// unclosed. Used by the `trace_lint` tool and CI.
+struct FileLintResult {
+  bool parsed = false;       ///< text is syntactically valid JSON
+  std::string error;         ///< parse error description when !parsed
+  std::size_t events = 0;    ///< traceEvents entries
+  std::size_t spans = 0;     ///< "ph":"X" entries
+  std::size_t unclosed = 0;  ///< spans the exporter had to auto-close
+  std::size_t spans_missing_dur = 0;
+  std::size_t negative_durations = 0;
+  bool ok() const {
+    return parsed && unclosed == 0 && spans_missing_dur == 0 &&
+           negative_durations == 0;
+  }
+};
+FileLintResult lint_chrome_trace_text(const std::string& text);
+
+/// Wall-clock attribution to the paper's Fig. 2 phases, summed from spans
+/// with category "phase" (emitted by the ML drivers and the aggregation
+/// jobs over exactly the intervals the legacy ad-hoc accounting measured,
+/// so the two agree to the nanosecond).
+struct PhaseBreakdown {
+  sim::Duration driver = 0;
+  sim::Duration non_agg = 0;
+  sim::Duration agg_compute = 0;
+  sim::Duration agg_reduce = 0;
+  sim::Duration total() const {
+    return driver + non_agg + agg_compute + agg_reduce;
+  }
+};
+PhaseBreakdown phase_breakdown(const TraceSink& sink);
+
+/// Busy-time drill-down per category. These are sums of span durations, not
+/// a partition of wall-clock: work overlaps across executors, and "ser"
+/// spans nested inside ring/combine tasks are also counted in "reduce".
+/// Spans tagged `failed: 1` (attempts aborted by a fault) are excluded —
+/// their duration is dominated by waiting on a dead peer, which the
+/// recovery accounting already covers.
+struct StageBreakdown {
+  sim::Duration compute = 0;       ///< task attempts (cat "compute")
+  sim::Duration reduce = 0;        ///< ring/combine/driver reduce (cat "reduce")
+  sim::Duration ser = 0;           ///< (de)serialization (cat "ser")
+  sim::Duration driver_fetch = 0;  ///< result fetches into the driver
+  sim::Duration detect = 0;        ///< failure-detection waits (cat "detect")
+  sim::Duration recover = 0;       ///< refold + retry backoff (cat "recover")
+};
+struct DetailReport {
+  StageBreakdown total;
+  /// Keyed by the "job" arg engine spans carry; spans without one are only
+  /// in `total`.
+  std::map<std::int64_t, StageBreakdown> per_job;
+};
+DetailReport detail_report(const TraceSink& sink);
+std::string format_detail_report(const DetailReport& report);
+
+/// Trace-derived total recovery time: failed collective-stage attempts plus
+/// detection waits plus retry backoffs. Matches AggMetrics::recovery_time
+/// exactly (those three intervals are contiguous in the retry loop).
+sim::Duration recovery_from_trace(const TraceSink& sink);
+
+}  // namespace sparker::obs

@@ -1,0 +1,251 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+/// \file trace.hpp
+/// Structured, deterministic tracing for the simulated cluster.
+///
+/// A TraceSink records span, instant and counter events keyed by *simulated*
+/// timestamps (the sim kernel's integer-nanosecond clock) and by stable
+/// process/track ids (driver, executors, network, sim kernel). Recording is
+/// completely passive: no simulator events are scheduled, no simulated time
+/// is charged, and a disabled sink returns immediately from every call — so
+/// a traced run produces bit-identical simulation results to an untraced
+/// one, and two identical runs produce byte-identical traces.
+///
+/// Event names and categories are `const char*` by design: callers pass
+/// string literals, the sink stores the pointers, and a disabled sink does
+/// no allocation at all on the hot path.
+///
+/// Exporters (Chrome trace_event JSON, phase/detail breakdowns) live in
+/// export.hpp.
+
+namespace sparker::obs {
+
+// ---- track (pid/tid) conventions -------------------------------------------
+//
+// The Chrome trace model groups tracks by "process" (pid) and "thread"
+// (tid). We map: the driver, the sim kernel and the network model each get
+// one pseudo-process; executor e gets pid kExecPidBase + e. tids are
+// caller-chosen within a process (task index, ring channel, connection id).
+
+inline constexpr int kDriverPid = 1;
+inline constexpr int kSimPid = 2;
+inline constexpr int kNetPid = 3;
+inline constexpr int kExecPidBase = 10;
+
+constexpr int exec_pid(int executor) noexcept {
+  return kExecPidBase + executor;
+}
+
+/// One key/value annotation on an event. Keys are string literals.
+struct Arg {
+  const char* key;
+  std::int64_t value;
+};
+
+/// Identifies an open span; kNoSpan when the sink is disabled.
+using SpanId = std::int64_t;
+inline constexpr SpanId kNoSpan = -1;
+
+enum class EventKind : std::uint8_t { kSpan, kInstant, kCounter };
+
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  const char* cat = "";
+  const char* name = "";
+  int pid = 0;
+  int tid = 0;
+  sim::Time ts = 0;
+  /// Spans: end timestamp, kTimeNever while still open. Unused otherwise.
+  sim::Time end = sim::kTimeNever;
+  std::int64_t value = 0;  ///< counters only.
+  std::vector<Arg> args;
+
+  bool is_open_span() const noexcept {
+    return kind == EventKind::kSpan && end == sim::kTimeNever;
+  }
+  sim::Duration duration() const noexcept {
+    return (kind == EventKind::kSpan && end != sim::kTimeNever && end >= ts)
+               ? end - ts
+               : 0;
+  }
+  /// Linear scan for an annotation (events carry a handful of args).
+  std::int64_t arg(const char* key, std::int64_t fallback = 0) const {
+    for (const Arg& a : args) {
+      if (std::strcmp(a.key, key) == 0) return a.value;
+    }
+    return fallback;
+  }
+  bool has_arg(const char* key) const {
+    for (const Arg& a : args) {
+      if (std::strcmp(a.key, key) == 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Deterministic event recorder. Events are stored in recording order (the
+/// deterministic simulator makes that order reproducible); exporters may
+/// reorder for presentation but the sink never does.
+class TraceSink {
+ public:
+  TraceSink(sim::Simulator& sim, bool enabled)
+      : sim_(&sim), enabled_(enabled) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Opens a span at the current simulated time. Returns kNoSpan (and
+  /// records nothing) when disabled; end() accepts kNoSpan as a no-op, so
+  /// call sites need no enabled-checks of their own.
+  SpanId begin(const char* cat, const char* name, int pid, int tid,
+               std::initializer_list<Arg> args = {}) {
+    if (!enabled_) return kNoSpan;
+    TraceEvent ev;
+    ev.kind = EventKind::kSpan;
+    ev.cat = cat;
+    ev.name = name;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = sim_->now();
+    ev.args.assign(args.begin(), args.end());
+    events_.push_back(std::move(ev));
+    ++open_spans_;
+    return static_cast<SpanId>(events_.size() - 1);
+  }
+
+  /// Closes a span at the current simulated time, optionally appending
+  /// annotations (e.g. {"failed", 1}). Idempotent: closing a closed span
+  /// (or kNoSpan) does nothing.
+  void end(SpanId id, std::initializer_list<Arg> extra = {}) {
+    if (!enabled_ || id < 0 ||
+        id >= static_cast<SpanId>(events_.size())) {
+      return;
+    }
+    TraceEvent& ev = events_[static_cast<std::size_t>(id)];
+    if (!ev.is_open_span()) return;
+    ev.end = sim_->now();
+    ev.args.insert(ev.args.end(), extra.begin(), extra.end());
+    --open_spans_;
+  }
+
+  /// Records an already-bounded span (both endpoints known), e.g. a phase
+  /// interval reconstructed from job metrics. Never left open.
+  void span_at(const char* cat, const char* name, int pid, int tid,
+               sim::Time from, sim::Time to,
+               std::initializer_list<Arg> args = {}) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.kind = EventKind::kSpan;
+    ev.cat = cat;
+    ev.name = name;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = from;
+    ev.end = to >= from ? to : from;
+    ev.args.assign(args.begin(), args.end());
+    events_.push_back(std::move(ev));
+  }
+
+  /// Records a point event at the current simulated time.
+  void instant(const char* cat, const char* name, int pid, int tid,
+               std::initializer_list<Arg> args = {}) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.kind = EventKind::kInstant;
+    ev.cat = cat;
+    ev.name = name;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = sim_->now();
+    ev.args.assign(args.begin(), args.end());
+    events_.push_back(std::move(ev));
+  }
+
+  /// Records a counter sample (rendered as a counter track).
+  void counter(const char* name, int pid, std::int64_t value) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.kind = EventKind::kCounter;
+    ev.cat = "counter";
+    ev.name = name;
+    ev.pid = pid;
+    ev.ts = sim_->now();
+    ev.value = value;
+    events_.push_back(std::move(ev));
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Spans begun but not yet ended. Zero after a well-formed run: every
+  /// begin has a matching end (the well-formedness tests assert this).
+  std::size_t open_spans() const noexcept { return open_spans_; }
+
+  void clear() {
+    events_.clear();
+    open_spans_ = 0;
+  }
+
+  /// RAII close: ends the span on scope exit (including exception unwind of
+  /// a coroutine frame) unless close() already did. Use for spans whose
+  /// scope has exits that bypass an explicit end().
+  class Scope {
+   public:
+    Scope(TraceSink& sink, SpanId id) : sink_(&sink), id_(id) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      if (id_ != kNoSpan) sink_->end(id_);
+    }
+    /// Explicit close with annotations; the destructor then no-ops.
+    void close(std::initializer_list<Arg> extra = {}) {
+      if (id_ == kNoSpan) return;
+      sink_->end(id_, extra);
+      id_ = kNoSpan;
+    }
+
+   private:
+    TraceSink* sink_;
+    SpanId id_;
+  };
+
+ private:
+  sim::Simulator* sim_;
+  bool enabled_;
+  std::size_t open_spans_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Sim-kernel probe: samples the event-queue depth and processed-event
+/// count onto counter tracks every `stride` processed events. Registered by
+/// the cluster only when tracing is enabled; purely an observer (SimProbe's
+/// contract forbids scheduling), so it cannot perturb the simulation.
+class SimQueueProbe final : public sim::SimProbe {
+ public:
+  explicit SimQueueProbe(TraceSink& sink, std::uint64_t stride = 1024)
+      : sink_(&sink), stride_(stride == 0 ? 1 : stride) {}
+
+  void on_step(sim::Time /*now*/, std::uint64_t processed,
+               std::size_t queue_depth) override {
+    if (processed % stride_ != 0) return;
+    sink_->counter("sim.queue_depth", kSimPid,
+                   static_cast<std::int64_t>(queue_depth));
+    sink_->counter("sim.events_processed", kSimPid,
+                   static_cast<std::int64_t>(processed));
+  }
+
+ private:
+  TraceSink* sink_;
+  std::uint64_t stride_;
+};
+
+}  // namespace sparker::obs

@@ -28,6 +28,7 @@ bool Simulator::step() {
   } else if (ev.fn) {
     ev.fn();
   }
+  if (probe_) probe_->on_step(now_, processed_, events_.size());
   return true;
 }
 

@@ -20,6 +20,17 @@
 
 namespace sparker::sim {
 
+/// Passive observer of the kernel's event loop, called after each processed
+/// event. Implementations must only *record* (e.g. sample queue depth for a
+/// trace) — scheduling events or touching the clock from a probe would
+/// break determinism guarantees, so it is forbidden by contract.
+class SimProbe {
+ public:
+  virtual ~SimProbe() = default;
+  virtual void on_step(Time now, std::uint64_t processed,
+                       std::size_t queue_depth) = 0;
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -112,6 +123,12 @@ class Simulator {
   /// Total number of events processed so far.
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Installs (or, with nullptr, removes) the step probe. At most one probe
+  /// is active; the caller keeps ownership and must clear it before the
+  /// probe dies.
+  void set_probe(SimProbe* probe) noexcept { probe_ = probe; }
+  SimProbe* probe() const noexcept { return probe_; }
+
  private:
   struct SleepAwaiter {
     Simulator& sim;
@@ -146,6 +163,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  SimProbe* probe_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
 };
 

@@ -493,7 +493,7 @@ std::function<Vec(int)> rows_gen(int rows_per_part) {
 struct SplitRun {
   bool failed = false;
   Vec value;
-  e::AggStats stats;
+  e::AggMetrics stats;
 };
 
 // Runs split_aggregate on a fresh cluster under `schedule`; dim/scale make

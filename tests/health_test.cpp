@@ -218,7 +218,7 @@ e::EngineConfig base_config() {
 struct HealthRun {
   bool failed = false;
   Vec value;
-  e::AggStats stats;
+  e::AggMetrics stats;
   e::HealthStats health;
 };
 
@@ -324,7 +324,7 @@ TEST(HealthEngine, FlakyExecutorQuarantinedThenRejoinsLaterRing) {
   auto spec = health_split_spec(64, 8192);
   ASSERT_EQ(rdd.preferred_executor(1), 1);
 
-  e::AggStats s1, s2;
+  e::AggMetrics s1, s2;
   Vec v1, v2;
   bool excluded_during_job1 = false;
   int rejoined_rank = -1;
