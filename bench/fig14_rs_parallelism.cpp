@@ -6,15 +6,18 @@
 
 #include <cstdio>
 
+#include "bench_util/algo_opt.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sparker;
+  const comm::AlgoId algo = bench::algo_option(argc, argv);
   bench::print_banner("Figure 14",
                       "Reduce-scatter vs parallelism, 48 executors, 256 MB "
                       "(BIC); seconds");
+  std::printf("collective algorithm: %s\n", comm::to_string(algo));
 
   const net::ClusterSpec spec = net::ClusterSpec::bic();
   bench::Table t({"parallelism", "topo-aware (s)", "by-executor-id (s)"});
@@ -24,6 +27,7 @@ int main() {
     opt.executors = 48;
     opt.parallelism = p;
     opt.message_bytes = 256ull << 20;
+    opt.algo = algo;
     opt.topology_aware = true;
     const double aware = bench::reduce_scatter_seconds(spec, opt);
     opt.topology_aware = false;

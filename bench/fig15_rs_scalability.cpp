@@ -8,21 +8,26 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/algo_opt.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sparker;
+  // --algo overrides the SC columns' algorithm; the MPI reference keeps
+  // MPICH's own size-based choices (halving short, pairwise long).
+  const comm::AlgoId sc_algo = bench::algo_option(argc, argv);
   bench::print_banner("Figure 15",
                       "Reduce-scatter scalability, 6..48 executors (BIC)");
+  std::printf("SC collective algorithm: %s\n", comm::to_string(sc_algo));
 
   const net::ClusterSpec spec = net::ClusterSpec::bic();
   bench::Table t({"executors", "SC 256KB (ms)", "MPI 256KB (ms)",
                   "SC 256MB (ms)", "MPI 256MB (ms)"});
   double sc_small_6 = 0, sc_small_48 = 0, sc_big_6 = 0, sc_big_48 = 0;
   for (int execs : {6, 12, 24, 48}) {
-    auto run = [&](bench::CommBackend backend, bench::RsOptions::Algo algo,
+    auto run = [&](bench::CommBackend backend, comm::AlgoId algo,
                    std::uint64_t bytes) {
       bench::RsOptions opt;
       opt.executors = execs;
@@ -33,17 +38,16 @@ int main() {
       opt.algo = algo;
       return 1e3 * bench::reduce_scatter_seconds(spec, opt);
     };
-    using Algo = bench::RsOptions::Algo;
     // MPICH picks recursive halving for short messages and pairwise
     // exchange for long commutative reductions.
     const double sc_small =
-        run(bench::CommBackend::kScalable, Algo::kRing, 256ull << 10);
+        run(bench::CommBackend::kScalable, sc_algo, 256ull << 10);
     const double mpi_small =
-        run(bench::CommBackend::kMpi, Algo::kHalving, 256ull << 10);
+        run(bench::CommBackend::kMpi, comm::AlgoId::kHalving, 256ull << 10);
     const double sc_big =
-        run(bench::CommBackend::kScalable, Algo::kRing, 256ull << 20);
+        run(bench::CommBackend::kScalable, sc_algo, 256ull << 20);
     const double mpi_big =
-        run(bench::CommBackend::kMpi, Algo::kPairwise, 256ull << 20);
+        run(bench::CommBackend::kMpi, comm::AlgoId::kPairwise, 256ull << 20);
     if (execs == 6) {
       sc_small_6 = sc_small;
       sc_big_6 = sc_big;

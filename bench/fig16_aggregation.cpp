@@ -11,15 +11,19 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/algo_opt.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sparker;
+  // --algo selects the Split mode's collective (tree modes don't use one).
+  const comm::AlgoId algo = bench::algo_option(argc, argv);
   bench::print_banner("Figure 16",
                       "Aggregation scalability: Tree vs Tree+IMM vs Split "
                       "(BIC, 1..8 nodes); seconds");
+  std::printf("split collective algorithm: %s\n", comm::to_string(algo));
 
   struct SizeCase {
     const char* label;
@@ -45,7 +49,8 @@ int main() {
           bench::aggregation_bench(spec, engine::AggMode::kTreeImm, sz.bytes)
               .total_s;
       const double split =
-          bench::aggregation_bench(spec, engine::AggMode::kSplit, sz.bytes)
+          bench::aggregation_bench(spec, engine::AggMode::kSplit, sz.bytes,
+                                   algo)
               .total_s;
       if (sz.bytes == (256ull << 20)) {
         if (nodes == 1) split_1node_256 = split;

@@ -6,7 +6,8 @@
 // Usage:
 //   ./build/examples/reduce_scatter_playground \
 //       [executors=48] [parallelism=4] [msg_mb=256] [topo=1] \
-//       [algo=ring|halving|pairwise] [backend=sc|bm|mpi]
+//       [algo=auto|ring|halving|pairwise|rabenseifner|driver_funnel] \
+//       [backend=sc|bm|mpi]
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,14 +28,11 @@ int main(int argc, char** argv) {
   std::string algo = argc > 5 ? argv[5] : "ring";
   std::string backend = argc > 6 ? argv[6] : "sc";
 
-  if (algo == "halving") {
-    opt.algo = bench::RsOptions::Algo::kHalving;
-  } else if (algo == "pairwise") {
-    opt.algo = bench::RsOptions::Algo::kPairwise;
-  } else if (algo == "ring") {
-    opt.algo = bench::RsOptions::Algo::kRing;
+  if (auto id = comm::parse_algo(algo)) {
+    opt.algo = *id;
   } else {
-    std::fprintf(stderr, "unknown algo '%s'\n", algo.c_str());
+    std::fprintf(stderr, "unknown algo '%s' (expected %s)\n", algo.c_str(),
+                 comm::algo_names().c_str());
     return 1;
   }
   if (backend == "sc") {
@@ -49,6 +47,10 @@ int main(int argc, char** argv) {
   }
 
   const net::ClusterSpec spec = net::ClusterSpec::bic();
+  if (opt.algo == comm::AlgoId::kAuto) {
+    std::printf("tuner pick: %s\n",
+                comm::to_string(bench::rs_tuner_pick(spec, opt)));
+  }
   const double secs = bench::reduce_scatter_seconds(spec, opt);
   std::printf(
       "reduce-scatter: %d executors, P=%d, %d MB, %s, algo=%s, backend=%s\n"

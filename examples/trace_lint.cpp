@@ -5,8 +5,9 @@
 //
 // For each file, validates the JSON syntax and the span shape (every "X"
 // event carries a non-negative dur; no span was auto-closed by the
-// exporter) and prints a one-line summary. Exits non-zero if any file
-// fails — CI runs this over the sample traces the benches emit.
+// exporter; every "collective" span names the algorithm that ran) and
+// prints a one-line summary. Exits non-zero if any file fails — CI runs
+// this over the sample traces the benches emit.
 
 #include <cstdio>
 #include <fstream>
@@ -40,14 +41,15 @@ int main(int argc, char** argv) {
     if (!r.ok()) {
       std::fprintf(stderr,
                    "%s: FAIL: %zu unclosed span(s), %zu span(s) missing dur, "
-                   "%zu negative duration(s)\n",
+                   "%zu negative duration(s), %zu collective span(s) "
+                   "missing algo\n",
                    argv[i], r.unclosed, r.spans_missing_dur,
-                   r.negative_durations);
+                   r.negative_durations, r.collective_spans_missing_algo);
       ++failures;
       continue;
     }
-    std::printf("%s: ok (%zu events, %zu spans)\n", argv[i], r.events,
-                r.spans);
+    std::printf("%s: ok (%zu events, %zu spans, %zu collective)\n", argv[i],
+                r.events, r.spans, r.collective_spans);
   }
   return failures ? 1 : 0;
 }

@@ -90,6 +90,8 @@ double reduce_scatter_seconds(const net::ClusterSpec& spec, RsOptions opt) {
     }
   }
   const double merge_bw = spec.rates.merge_bw;
+  const comm::AlgoId algo =
+      opt.algo == comm::AlgoId::kAuto ? rs_tuner_pick(spec, opt) : opt.algo;
   auto body = [&](int rank) -> Task<void> {
     const Vec& local = locals[static_cast<std::size_t>(rank)];
     comm::SegOps<Vec> ops;
@@ -109,28 +111,29 @@ double reduce_scatter_seconds(const net::ClusterSpec& spec, RsOptions opt) {
     ops.merge_time = [merge_bw](std::uint64_t b) {
       return sim::transfer_time(static_cast<double>(b), merge_bw);
     };
-    switch (opt.algo) {
-      case RsOptions::Algo::kHalving:
-        (void)co_await comm::halving_reduce_scatter(c, rank, ops);
-        break;
-      case RsOptions::Algo::kPairwise:
-        (void)co_await comm::pairwise_reduce_scatter(c, rank, ops);
-        break;
-      case RsOptions::Algo::kRing:
-        (void)co_await comm::ring_reduce_scatter(c, rank, ops);
-        break;
-    }
+    (void)co_await comm::CollectiveRegistry<Vec>::instance().reduce_scatter(
+        algo, c, rank, ops);
   };
   sim.run_task(comm::run_all_ranks(c, body));
   return sim::to_seconds(sim.now());
 }
 
+comm::AlgoId rs_tuner_pick(const net::ClusterSpec& spec,
+                           const RsOptions& opt) {
+  return comm::pick_algo(
+      comm::CollectiveOp::kReduceScatter,
+      comm::cost_inputs(spec, link_of(spec, opt.backend), opt.message_bytes,
+                        opt.executors, opt.parallelism));
+}
+
 AggBenchResult aggregation_bench(const net::ClusterSpec& spec,
                                  engine::AggMode mode,
-                                 std::uint64_t message_bytes) {
+                                 std::uint64_t message_bytes,
+                                 comm::AlgoId algo) {
   Simulator sim;
   engine::Cluster cl(sim, spec);
   cl.config().agg_mode = mode;
+  cl.config().collective_algo = algo;
   const int partitions = spec.total_cores();
   const int len = 2048;  // real int64s per array (scaled)
   const double bytes_scale =

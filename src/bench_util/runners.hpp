@@ -8,6 +8,7 @@
 
 #include "comm/collectives.hpp"
 #include "comm/communicator.hpp"
+#include "comm/registry.hpp"
 #include "comm/topology.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
@@ -73,13 +74,18 @@ struct RsOptions {
   bool topology_aware = true;
   std::uint64_t message_bytes = 256ull << 20;
   CommBackend backend = CommBackend::kScalable;
-  enum class Algo { kRing, kHalving, kPairwise };
-  /// kRing is the scalable communicator's algorithm; kHalving and
-  /// kPairwise model MPICH's reduce_scatter choices for short and long
-  /// messages respectively.
-  Algo algo = Algo::kRing;
+  /// Collective algorithm, dispatched through comm::CollectiveRegistry.
+  /// kRing is the scalable communicator's algorithm; kHalving and kPairwise
+  /// model MPICH's reduce_scatter choices for short and long messages;
+  /// kAuto asks the cost-model tuner.
+  comm::AlgoId algo = comm::AlgoId::kRing;
 };
 double reduce_scatter_seconds(const net::ClusterSpec& spec, RsOptions opt);
+
+/// The algorithm the tuner would pick for a reduce-scatter under `opt`
+/// (what `algo = kAuto` resolves to) — benches report it next to timings.
+comm::AlgoId rs_tuner_pick(const net::ClusterSpec& spec,
+                           const RsOptions& opt);
 
 /// The Figure 16 micro-benchmark: sum an RDD of fixed-length int64 arrays
 /// (one partition per core, storage MEMORY_ONLY, preloaded). Returns
@@ -91,7 +97,8 @@ struct AggBenchResult {
 };
 AggBenchResult aggregation_bench(const net::ClusterSpec& spec,
                                  engine::AggMode mode,
-                                 std::uint64_t message_bytes);
+                                 std::uint64_t message_bytes,
+                                 comm::AlgoId algo = comm::AlgoId::kRing);
 
 /// End-to-end workload run (Figures 1/2/3/4/17/18). Returns the paper's
 /// four-component decomposition plus total seconds.

@@ -1,0 +1,269 @@
+#include "comm/registry.hpp"
+
+#include <cmath>
+
+/// \file registry.cpp
+/// Algorithm names and the cost-model auto-tuner.
+///
+/// The tuner is an analytic alpha-beta-gamma model: per-message overhead
+/// (alpha), per-byte transport cost (beta, including the JVM IO-thread
+/// copies and NIC sharing the fabric prices), and per-byte merge cost
+/// (gamma). It is deliberately cruder than the simulator — its only job is
+/// to rank the registered algorithms the same way the simulated curves do,
+/// which tests/tuner_test.cpp checks against the fig14/15/16 grids.
+
+namespace sparker::comm {
+
+const char* to_string(AlgoId id) {
+  switch (id) {
+    case AlgoId::kAuto:
+      return "auto";
+    case AlgoId::kRing:
+      return "ring";
+    case AlgoId::kHalving:
+      return "halving";
+    case AlgoId::kPairwise:
+      return "pairwise";
+    case AlgoId::kRabenseifner:
+      return "rabenseifner";
+    case AlgoId::kDriverFunnel:
+      return "driver_funnel";
+  }
+  return "?";
+}
+
+const char* to_string(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kReduceScatter:
+      return "reduce_scatter";
+    case CollectiveOp::kAllreduce:
+      return "allreduce";
+  }
+  return "?";
+}
+
+std::optional<AlgoId> parse_algo(std::string_view name) {
+  for (AlgoId id : {AlgoId::kAuto, AlgoId::kRing, AlgoId::kHalving,
+                    AlgoId::kPairwise, AlgoId::kRabenseifner,
+                    AlgoId::kDriverFunnel}) {
+    if (name == to_string(id)) return id;
+  }
+  return std::nullopt;
+}
+
+std::string algo_names() {
+  std::string out;
+  for (AlgoId id : {AlgoId::kAuto, AlgoId::kRing, AlgoId::kHalving,
+                    AlgoId::kPairwise, AlgoId::kRabenseifner,
+                    AlgoId::kDriverFunnel}) {
+    if (!out.empty()) out += "|";
+    out += to_string(id);
+  }
+  return out;
+}
+
+const std::vector<AlgoId>& registered_algos(CollectiveOp op) {
+  // Must stay in sync with CollectiveRegistry<V>'s constructor: the builtin
+  // implementations are type-agnostic, so one list serves every V.
+  static const std::vector<AlgoId> rs = {AlgoId::kRing, AlgoId::kHalving,
+                                         AlgoId::kPairwise,
+                                         AlgoId::kDriverFunnel};
+  static const std::vector<AlgoId> ar = {AlgoId::kHalving, AlgoId::kPairwise,
+                                         AlgoId::kRabenseifner,
+                                         AlgoId::kDriverFunnel};
+  return op == CollectiveOp::kReduceScatter ? rs : ar;
+}
+
+AlgoId canonical_algo(CollectiveOp op, AlgoId id) {
+  // The ring family is one algorithm with two names: kRing is its
+  // reduce-scatter phase, kRabenseifner its allreduce composition. Alias
+  // whichever the op actually registers.
+  if (op == CollectiveOp::kAllreduce && id == AlgoId::kRing) {
+    return AlgoId::kRabenseifner;
+  }
+  if (op == CollectiveOp::kReduceScatter && id == AlgoId::kRabenseifner) {
+    return AlgoId::kRing;
+  }
+  return id;
+}
+
+CollectiveCostInputs cost_inputs(const net::ClusterSpec& spec,
+                                 const net::LinkParams& link,
+                                 std::uint64_t bytes, int n, int parallelism) {
+  CollectiveCostInputs in;
+  in.bytes = bytes;
+  in.n = std::max(1, n);
+  in.parallelism = std::max(1, parallelism);
+  in.io_cores = std::max(1, spec.cores_per_executor);
+  in.ranks_per_host = std::max(1, std::min(in.n, spec.executors_per_node));
+  in.stream_bw = link.stream_bw;
+  in.nic_bw = spec.fabric.host.nic_bw;
+  in.merge_bw = spec.rates.merge_bw;
+  in.jvm = link.jvm;
+  in.msg_overhead_s = sim::to_seconds(link.send_overhead +
+                                      link.recv_overhead +
+                                      spec.fabric.inter_latency);
+  return in;
+}
+
+namespace {
+
+double log2ceil(int n) {
+  int r = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++r;
+  }
+  return static_cast<double>(r);
+}
+
+}  // namespace
+
+double predict_seconds(CollectiveOp op, AlgoId algo,
+                       const CollectiveCostInputs& in) {
+  algo = canonical_algo(op, algo);
+  const double S = static_cast<double>(in.bytes);
+  const double n = static_cast<double>(std::max(1, in.n));
+  const double P = static_cast<double>(std::max(1, in.parallelism));
+  const double io = static_cast<double>(
+      std::max(1, std::min(in.parallelism, in.io_cores)));
+  const double o = in.msg_overhead_s;
+  const double bw = in.stream_bw;
+  const double gamma = 1.0 / in.merge_bw;  // per-byte merge cost
+  const double jvm = in.jvm ? 1.0 : 0.0;
+  const double rph = static_cast<double>(std::max(1, in.ranks_per_host));
+  if (in.n <= 1) return 0.0;
+  const double rounds_log = log2ceil(in.n);
+
+  // Whether any hop can cross hosts at all (single-host runs never touch
+  // the NIC — the fabric routes them over the loopback).
+  const bool multi_host = in.n > in.ranks_per_host;
+  // Channels per IO core: a rank's send and recv copies of the same
+  // channel serialize on one IO thread (the JeroMQ model in
+  // comm::Communicator), and channels beyond io_cores share threads.
+  const double cpc = std::ceil(P / io);
+
+  // Per-round critical path of the P-channel topology-aware ring: the two
+  // JVM copies of each channel serialize on its IO thread; hops are
+  // intra-host (loopback, free wire) except at each host boundary, whose
+  // rank pushes its P segments through the shared NIC. Non-JVM links skip
+  // the copies but pay the stream-paced wire.
+  auto ring_round = [&](double s) {
+    const double copies = jvm * 2.0 * s * cpc / bw;
+    const double nic = multi_host ? P * s / in.nic_bw : 0.0;
+    const double wire = jvm ? 0.0 : s / bw;
+    return copies + nic + wire;
+  };
+  // One flat (channel-0) hop moving s bytes: send copy, then the wire —
+  // stream-paced at the link rate, or the shared NIC when `cross`
+  // host-crossing streams per host exceed it — then the recv copy.
+  // `cross` == 0 means an intra-host hop (loopback, free wire).
+  auto flat_hop = [&](double s, double cross) {
+    const double copies = jvm * 2.0 * s / bw;
+    const double wire =
+        cross > 0.0 ? std::max(s / bw, cross * s / in.nic_bw) : 0.0;
+    return copies + wire;
+  };
+  // Fraction of pairwise/allgather partners that live on another host.
+  const double cross_frac =
+      !multi_host ? 0.0 : (n - rph) / std::max(1.0, n - 1);
+
+  auto rs_cost = [&](AlgoId a) -> double {
+    switch (a) {
+      case AlgoId::kRing: {
+        const double s = S / (n * P);  // per-channel segment
+        return (n - 1) * (o + ring_round(s) + s * gamma);
+      }
+      case AlgoId::kPairwise: {
+        // Hostname-ordered ranks: at exchange distance k most partners are
+        // on other hosts, so each host's NIC carries ~rph * cross_frac
+        // concurrent streams per round.
+        const double s = S / n;
+        return (n - 1) * (o + flat_hop(s, rph * cross_frac) + s * gamma);
+      }
+      case AlgoId::kHalving: {
+        // log2(n) exchange rounds moving S/2, S/4, ...: partners sit at
+        // distance n/2^r, which crosses hosts (every rank on the host at
+        // once) until the distance drops below the host width.
+        double t = 0.0;
+        double s = S / 2.0, dist = n / 2.0;
+        for (int r = 0; r < static_cast<int>(rounds_log); ++r) {
+          const double cross = multi_host && dist >= rph ? rph : 0.0;
+          t += o + flat_hop(s, cross) + s * gamma;
+          s /= 2.0;
+          dist /= 2.0;
+        }
+        // Non-power-of-two: the surplus ranks pre-fold whole values into
+        // their (adjacent, mostly intra-host) partners.
+        const bool pow2 = (in.n & (in.n - 1)) == 0;
+        if (!pow2) t += o + flat_hop(S, multi_host ? 1.0 : 0.0) + S * gamma;
+        return t;
+      }
+      case AlgoId::kDriverFunnel: {
+        // n-1 whole values converge on rank 0: its recv IO thread (JVM) and
+        // its NIC ingress serialize them; merges are also serial there.
+        const double nic_in = multi_host ? (n - rph) * S / in.nic_bw : 0.0;
+        const double drain = (n - 1) * S * (jvm / bw + gamma) + nic_in;
+        return o + drain;
+      }
+      default:
+        return 1e30;  // not a reduce-scatter algorithm
+    }
+  };
+
+  auto ar_cost = [&](AlgoId a) -> double {
+    // Allgather of the scattered segments, per composition.
+    switch (a) {
+      case AlgoId::kRabenseifner: {
+        const double s = S / (n * P);
+        return rs_cost(AlgoId::kRing) + (n - 1) * (o + ring_round(s));
+      }
+      case AlgoId::kPairwise:
+      case AlgoId::kHalving: {
+        // Both compose with the flat ring allgather: n-1 neighbour hops of
+        // one segment, crossing hosts only at each host boundary.
+        const double s = S / n;
+        const double ag =
+            (n - 1) * (o + flat_hop(s, multi_host ? 1.0 : 0.0));
+        return rs_cost(a) + ag;
+      }
+      case AlgoId::kDriverFunnel: {
+        const double bcast =
+            rounds_log * (o + flat_hop(S, multi_host ? 1.0 : 0.0));
+        return rs_cost(AlgoId::kDriverFunnel) + bcast;
+      }
+      default:
+        return 1e30;
+    }
+  };
+
+  return op == CollectiveOp::kReduceScatter ? rs_cost(algo) : ar_cost(algo);
+}
+
+AlgoId pick_algo(CollectiveOp op, const CollectiveCostInputs& in) {
+  AlgoId best = registered_algos(op).front();
+  double best_t = predict_seconds(op, best, in);
+  for (AlgoId a : registered_algos(op)) {
+    const double t = predict_seconds(op, a, in);
+    if (t < best_t) {
+      best = a;
+      best_t = t;
+    }
+  }
+  return best;
+}
+
+AlgoId resolve_algo(CollectiveOp op, AlgoId requested,
+                    const CollectiveCostInputs& in) {
+  const AlgoId id = requested == AlgoId::kAuto
+                        ? pick_algo(op, in)
+                        : canonical_algo(op, requested);
+  for (AlgoId a : registered_algos(op)) {
+    if (a == id) return id;
+  }
+  throw std::invalid_argument(std::string(to_string(requested)) +
+                              " is not registered for " + to_string(op));
+}
+
+}  // namespace sparker::comm

@@ -1,0 +1,339 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/communicator.hpp"
+#include "net/cluster.hpp"
+#include "obs/trace.hpp"
+#include "sim/task.hpp"
+
+/// \file registry.hpp
+/// Pluggable collective-algorithm registry plus a cost-model auto-tuner.
+///
+/// The paper's parallel directed ring (Section 4.2) is one point in a family
+/// of reduce-scatter/allreduce algorithms whose crossover depends on
+/// aggregator bytes, executor count and link parameters. The registry maps
+/// (collective op, algorithm name) to an implementation — the dispatch-map
+/// style of HCL's primCollectiveImpl_t — so the engine's split-aggregation
+/// stage loops pick the collective by AlgoId instead of hardcoding the ring,
+/// and every algorithm inherits the stage-level fault-retry/refold/backoff
+/// machinery and health-aware membership for free.
+///
+/// The tuner (`pick_algo`) predicts per-algorithm cost from the same
+/// latency/bandwidth/parallelism quantities the fabric simulation prices
+/// (alpha-beta-gamma modeling in the SparCML tradition) and is validated
+/// against the measured crossover curves of the fig14/fig15/fig16 benches
+/// by tests/tuner_test.cpp.
+
+namespace sparker::comm {
+
+/// Collective operations the engine dispatches through the registry.
+enum class CollectiveOp {
+  kReduceScatter = 0,  ///< rank i ends up owning reduced segment(s).
+  kAllreduce = 1,      ///< every rank ends up with the whole reduced value.
+};
+
+/// Named collective algorithms. Values are stable: they are recorded as the
+/// integer `algo` attribute on trace spans, so renumbering would break
+/// stored traces.
+enum class AlgoId {
+  kAuto = 0,          ///< resolved per call by the cost-model tuner.
+  kRing = 1,          ///< paper's P-channel parallel directed ring.
+  kHalving = 2,       ///< MPICH recursive halving (non-power-of-two fold).
+  kPairwise = 3,      ///< MPICH pairwise exchange (all-to-all traffic).
+  kRabenseifner = 4,  ///< ring reduce-scatter + ring allgather composition.
+  kDriverFunnel = 5,  ///< flat funnel into rank 0 — the Spark-esque baseline.
+};
+
+const char* to_string(AlgoId id);
+const char* to_string(CollectiveOp op);
+
+/// Parses an algorithm name ("auto", "ring", "halving", "pairwise",
+/// "rabenseifner", "driver_funnel"); nullopt on unknown names.
+std::optional<AlgoId> parse_algo(std::string_view name);
+
+/// All algorithm names, for --help text.
+std::string algo_names();
+
+/// The cost-model inputs: everything the tuner may consult, extracted from
+/// the same LinkParams / FabricParams / CostRates the simulation prices.
+struct CollectiveCostInputs {
+  std::uint64_t bytes = 0;   ///< whole-aggregator modeled bytes per rank.
+  int n = 1;                 ///< ranks participating.
+  int parallelism = 1;       ///< P parallel channels (ring family only).
+  int io_cores = 4;          ///< IO threads per rank (channels share them).
+  int ranks_per_host = 1;    ///< co-located ranks (NIC sharing).
+  double stream_bw = 340e6;  ///< per-connection stream cap, bytes/s.
+  double nic_bw = 1185e6;    ///< host NIC line rate, bytes/s.
+  double merge_bw = 3000e6;  ///< segment-merge memory bandwidth, bytes/s.
+  bool jvm = true;           ///< JVM link: IO-thread copy on send and recv.
+  double msg_overhead_s = 72e-6;  ///< per-message send+recv overhead+latency.
+};
+
+/// Builds tuner inputs from a cluster spec and the link the collective will
+/// run over (the engine wraps this with its own live-topology view).
+CollectiveCostInputs cost_inputs(const net::ClusterSpec& spec,
+                                 const net::LinkParams& link,
+                                 std::uint64_t bytes, int n, int parallelism);
+
+/// Predicted wall-clock seconds of one collective call. Not a simulator:
+/// an analytic alpha-beta-gamma estimate whose only job is to rank the
+/// registered algorithms correctly across the fig14/15/16 grids.
+double predict_seconds(CollectiveOp op, AlgoId algo,
+                       const CollectiveCostInputs& in);
+
+/// Algorithms registered for `op`, in enum order. Shared by every V
+/// instantiation of CollectiveRegistry (the builtin set is type-agnostic).
+const std::vector<AlgoId>& registered_algos(CollectiveOp op);
+
+/// The auto-tuner: argmin of predict_seconds over registered_algos(op).
+/// Deterministic (ties break toward the lower enum value).
+AlgoId pick_algo(CollectiveOp op, const CollectiveCostInputs& in);
+
+/// Maps an AlgoId onto the name actually registered for `op`: the ring
+/// family is registered as kRing for reduce-scatter and as kRabenseifner
+/// (its allreduce composition) for allreduce, so each aliases to the other
+/// where needed. Never returns kAuto for a non-auto input.
+AlgoId canonical_algo(CollectiveOp op, AlgoId id);
+
+/// Resolves the user-facing setting to a dispatchable id: kAuto goes
+/// through the tuner, everything else through canonical_algo. Throws
+/// std::invalid_argument if the result is not registered for `op`.
+AlgoId resolve_algo(CollectiveOp op, AlgoId requested,
+                    const CollectiveCostInputs& in);
+
+namespace detail {
+
+/// Allgather for the one-segment-per-rank layouts (halving / pairwise
+/// reduce-scatter leave rank i holding reduced segment i): N-1 ring hops on
+/// channel 0, forwarding the previously received segment each step.
+template <typename V>
+sim::Task<std::vector<Seg<V>>> flat_ring_allgather(Communicator& c, int rank,
+                                                   const SegOps<V>& ops,
+                                                   Seg<V> own) {
+  const int n = c.size();
+  std::vector<Seg<V>> all;
+  all.reserve(static_cast<std::size_t>(n));
+  all.push_back(std::move(own));
+  for (int k = 0; k + 1 < n; ++k) {
+    const Seg<V>& fwd = all[static_cast<std::size_t>(k)];
+    Message m;
+    m.tag = k;
+    m.bytes = ops.bytes(fwd.second);
+    m.payload = std::make_shared<Seg<V>>(fwd);  // copy: we keep ours
+    c.post(rank, c.next(rank), 0, std::move(m));
+    Message in = co_await c.recv(rank, c.prev(rank), 0);
+    all.push_back(std::move(*std::static_pointer_cast<Seg<V>>(in.payload)));
+  }
+  co_return all;
+}
+
+/// Flat funnel reduction: every rank posts its whole value to rank 0, which
+/// folds them in rank order. The non-scalable baseline whose incast is what
+/// the paper's ring exists to avoid; the tuner still picks it for tiny
+/// aggregators where per-message overhead dominates.
+template <typename V>
+sim::Task<std::optional<V>> funnel_reduce(Communicator& c, int rank, V local,
+                                          const SegOps<V>& ops) {
+  const int n = c.size();
+  if (n == 1) co_return std::optional<V>(std::move(local));
+  if (rank != 0) {
+    Message m;
+    m.bytes = ops.bytes(local);
+    m.payload = std::make_shared<V>(std::move(local));
+    c.post(rank, 0, 0, std::move(m));
+    co_return std::nullopt;
+  }
+  for (int src = 1; src < n; ++src) {
+    Message in = co_await c.recv(0, src, 0);
+    co_await c.simulator().sleep(merge_cost(ops, in.bytes));
+    ops.reduce_into(local, *std::static_pointer_cast<V>(in.payload));
+  }
+  co_return std::optional<V>(std::move(local));
+}
+
+}  // namespace detail
+
+/// The per-segment-type dispatch map. One immutable instance per V holds
+/// the builtin algorithms; lookups go by canonical AlgoId. Every dispatch
+/// wraps the implementation in a "collective" trace span carrying the
+/// integer `algo` attribute (plus failed=0/1 on close), which is what
+/// trace_lint and the obs tests key on.
+template <typename V>
+class CollectiveRegistry {
+ public:
+  using ReduceScatterFn = std::function<sim::Task<std::vector<Seg<V>>>(
+      Communicator&, int, const SegOps<V>&)>;
+  using AllreduceFn =
+      std::function<sim::Task<V>(Communicator&, int, const SegOps<V>&)>;
+
+  static const CollectiveRegistry& instance() {
+    static const CollectiveRegistry reg;
+    return reg;
+  }
+
+  bool has(CollectiveOp op, AlgoId id) const {
+    return op == CollectiveOp::kReduceScatter ? rs_.count(id) > 0
+                                              : ar_.count(id) > 0;
+  }
+
+  /// Dispatches a reduce-scatter. `algo` must be a concrete registered id
+  /// (resolve kAuto via resolve_algo first — all ranks of one collective
+  /// must agree on the algorithm, so resolution happens once at the stage).
+  sim::Task<std::vector<Seg<V>>> reduce_scatter(AlgoId algo, Communicator& c,
+                                                int rank,
+                                                const SegOps<V>& ops) const {
+    const AlgoId id = canonical_algo(CollectiveOp::kReduceScatter, algo);
+    auto it = rs_.find(id);
+    if (it == rs_.end()) {
+      throw std::invalid_argument(std::string("no reduce-scatter algorithm ") +
+                                  to_string(algo));
+    }
+    obs::TraceSink* tr = c.fabric().trace();
+    const obs::SpanId span =
+        tr ? tr->begin("collective", "collective.reduce_scatter",
+                       obs::exec_pid(c.node_of(rank)), rank,
+                       {{"algo", static_cast<std::int64_t>(id)},
+                        {"rank", rank}})
+           : obs::kNoSpan;
+    std::exception_ptr err;
+    std::vector<Seg<V>> out;
+    try {
+      out = co_await it->second(c, rank, ops);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (tr) tr->end(span, {{"failed", err ? 1 : 0}});
+    if (err) std::rethrow_exception(err);
+    co_return out;
+  }
+
+  /// Dispatches an allreduce; same contract as reduce_scatter.
+  sim::Task<V> allreduce(AlgoId algo, Communicator& c, int rank,
+                         const SegOps<V>& ops) const {
+    const AlgoId id = canonical_algo(CollectiveOp::kAllreduce, algo);
+    auto it = ar_.find(id);
+    if (it == ar_.end()) {
+      throw std::invalid_argument(std::string("no allreduce algorithm ") +
+                                  to_string(algo));
+    }
+    obs::TraceSink* tr = c.fabric().trace();
+    const obs::SpanId span =
+        tr ? tr->begin("collective", "collective.allreduce",
+                       obs::exec_pid(c.node_of(rank)), rank,
+                       {{"algo", static_cast<std::int64_t>(id)},
+                        {"rank", rank}})
+           : obs::kNoSpan;
+    std::exception_ptr err;
+    std::optional<V> out;
+    try {
+      out.emplace(co_await it->second(c, rank, ops));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (tr) tr->end(span, {{"failed", err ? 1 : 0}});
+    if (err) std::rethrow_exception(err);
+    co_return std::move(*out);
+  }
+
+ private:
+  // The builtin set. Must stay in sync with registered_algos() in
+  // registry.cpp, which the tuner consults without knowing V.
+  CollectiveRegistry() {
+    rs_[AlgoId::kRing] = [](Communicator& c, int rank, const SegOps<V>& ops) {
+      return ring_reduce_scatter<V>(c, rank, ops);
+    };
+    rs_[AlgoId::kHalving] =
+        [](Communicator& c, int rank,
+           const SegOps<V>& ops) -> sim::Task<std::vector<Seg<V>>> {
+      std::optional<Seg<V>> seg =
+          co_await halving_reduce_scatter<V>(c, rank, ops);
+      std::vector<Seg<V>> out;
+      if (seg) out.push_back(std::move(*seg));
+      co_return out;
+    };
+    rs_[AlgoId::kPairwise] =
+        [](Communicator& c, int rank,
+           const SegOps<V>& ops) -> sim::Task<std::vector<Seg<V>>> {
+      Seg<V> seg = co_await pairwise_reduce_scatter<V>(c, rank, ops);
+      std::vector<Seg<V>> out;
+      out.push_back(std::move(seg));
+      co_return out;
+    };
+    rs_[AlgoId::kDriverFunnel] =
+        [](Communicator& c, int rank,
+           const SegOps<V>& ops) -> sim::Task<std::vector<Seg<V>>> {
+      std::optional<V> whole =
+          co_await detail::funnel_reduce<V>(c, rank, ops.split(0, 1), ops);
+      std::vector<Seg<V>> out;
+      if (whole) out.push_back({0, std::move(*whole)});
+      co_return out;
+    };
+
+    ar_[AlgoId::kRabenseifner] = [](Communicator& c, int rank,
+                                    const SegOps<V>& ops) {
+      return rabenseifner_allreduce<V>(c, rank, ops);
+    };
+    ar_[AlgoId::kHalving] = [](Communicator& c, int rank,
+                               const SegOps<V>& ops) -> sim::Task<V> {
+      if (!ops.concat) {
+        throw std::invalid_argument("allreduce requires concatOp");
+      }
+      std::optional<Seg<V>> seg =
+          co_await halving_reduce_scatter<V>(c, rank, ops);
+      auto all =
+          co_await detail::flat_ring_allgather<V>(c, rank, ops,
+                                                  std::move(*seg));
+      std::sort(all.begin(), all.end(), [](const Seg<V>& a, const Seg<V>& b) {
+        return a.first < b.first;
+      });
+      co_return ops.concat(all);
+    };
+    ar_[AlgoId::kPairwise] = [](Communicator& c, int rank,
+                                const SegOps<V>& ops) -> sim::Task<V> {
+      if (!ops.concat) {
+        throw std::invalid_argument("allreduce requires concatOp");
+      }
+      Seg<V> seg = co_await pairwise_reduce_scatter<V>(c, rank, ops);
+      auto all =
+          co_await detail::flat_ring_allgather<V>(c, rank, ops,
+                                                  std::move(seg));
+      std::sort(all.begin(), all.end(), [](const Seg<V>& a, const Seg<V>& b) {
+        return a.first < b.first;
+      });
+      co_return ops.concat(all);
+    };
+    ar_[AlgoId::kDriverFunnel] = [](Communicator& c, int rank,
+                                    const SegOps<V>& ops) -> sim::Task<V> {
+      std::optional<V> whole =
+          co_await detail::funnel_reduce<V>(c, rank, ops.split(0, 1), ops);
+      std::shared_ptr<V> value;
+      std::uint64_t bytes = 0;
+      if (whole) {
+        bytes = ops.bytes(*whole);
+        value = std::make_shared<V>(std::move(*whole));
+      } else {
+        // Relay hops are priced with the local whole-value size (identical
+        // across ranks for the engine's fixed-shape aggregators).
+        bytes = ops.bytes(ops.split(0, 1));
+      }
+      co_return co_await binomial_broadcast<V>(c, rank, 0, std::move(value),
+                                               bytes);
+    };
+  }
+
+  std::map<AlgoId, ReduceScatterFn> rs_;
+  std::map<AlgoId, AllreduceFn> ar_;
+};
+
+}  // namespace sparker::comm

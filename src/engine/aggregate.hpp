@@ -142,6 +142,20 @@ inline constexpr std::uint64_t kDirectResultLimit = 1ull << 20;
 /// retry count so fault plans keyed on attempt numbers stay inert for them.
 inline constexpr int kSpeculativeAttempt = 1 << 20;
 
+/// Modeled size of the aggregator a split-stage collective will move: the
+/// first stage-1 value present (every executor's aggregator shares the
+/// spec's shape), or the zero aggregator when no partition produced one.
+/// Deterministic, so every stage attempt feeds the tuner the same bytes.
+template <typename T, typename U, typename V>
+std::uint64_t aggregator_bytes(
+    const SplitAggSpec<T, U, V>& spec,
+    const std::vector<std::shared_ptr<U>>& per_exec) {
+  for (const auto& v : per_exec) {
+    if (v) return spec.base.bytes(*v);
+  }
+  return spec.base.bytes(spec.base.zero);
+}
+
 /// Picks the executor a task actually runs on: the preferred one, or — if
 /// the driver's health view rules it out (believed dead, or quarantined) —
 /// the next usable executor in a deterministic scan (Spark reschedules lost
@@ -985,7 +999,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     // trigger a mid-attempt rebuild if another executor has died since,
     // leaving rank and communicator inconsistent.
     static sim::Task<void> go(Cluster& cl, int job, comm::Communicator& sc,
-                              int exec_id, int rank,
+                              comm::AlgoId algo, int exec_id, int rank,
                               const SplitAggSpec<T, U, V>& spec,
                               std::shared_ptr<U> local,
                               std::vector<std::pair<int, V>>& all_segs,
@@ -1009,7 +1023,8 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         ops.reduce_into = spec.reduce_op;
         ops.bytes = spec.v_bytes;
         ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
-        auto segs = co_await comm::ring_reduce_scatter<V>(sc, rank, ops);
+        auto segs = co_await comm::CollectiveRegistry<V>::instance()
+                        .reduce_scatter(algo, sc, rank, ops);
         if (!cl.executor_alive(exec_id)) {
           throw comm::CollectiveFailed("executor died after reduce-scatter");
         }
@@ -1041,6 +1056,11 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     m->ring_stage_attempts = ring_attempt;
     const Time attempt_start = cl.simulator().now();
     bool attempt_failed = false;
+    // The algorithm is resolved once per attempt (inside the try, after the
+    // membership snapshot: kAuto depends on the live rank count), so every
+    // rank of one collective runs the same algorithm. Declared here so the
+    // failure path can stamp it on the closing span too.
+    comm::AlgoId algo = cl.config().collective_algo;
     // The attempt span opens at attempt_start and, on failure, closes at
     // the instant the collective failure surfaces — making the failed span
     // plus the detect.settle and recover.backoff spans below exactly the
@@ -1089,6 +1109,12 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         }
       }
       const int n = sc.size();
+      algo = comm::resolve_algo(
+          comm::CollectiveOp::kReduceScatter, cl.config().collective_algo,
+          cl.collective_cost_inputs(detail::aggregator_bytes(spec, per_exec),
+                                    n));
+      cl.metrics().add(std::string("agg.collective.") + comm::to_string(algo),
+                       1);
       std::vector<std::pair<int, V>> all_segs;
       std::uint64_t total_v_bytes = 0;
       std::exception_ptr error;
@@ -1099,7 +1125,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         auto localv = per_exec[static_cast<std::size_t>(e)];
         // Executors that received no partition contribute a zero aggregator.
         if (!localv) localv = std::make_shared<U>(spec.base.zero);
-        cl.simulator().spawn(RingTask::go(cl, job, sc, e, r, spec,
+        cl.simulator().spawn(RingTask::go(cl, job, sc, algo, e, r, spec,
                                           std::move(localv), all_segs,
                                           total_v_bytes, wg, error));
       }
@@ -1113,7 +1139,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       co_await cl.simulator().sleep_until(done);
       V result = spec.concat_op(all_segs);
       m->end = cl.simulator().now();
-      attempt_scope.close();
+      attempt_scope.close({{"algo", static_cast<std::int64_t>(algo)}});
       tr.span_at("phase", "agg_compute", obs::kDriverPid, 0, m->start,
                  m->compute_done, {{"job", job}});
       tr.span_at("phase", "agg_reduce", obs::kDriverPid, 0, m->compute_done,
@@ -1126,7 +1152,8 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       // stale in-flight messages) is retired; the next attempt gets a
       // fresh one over the surviving topology.
       cl.invalidate_scalable_comm();
-      attempt_scope.close({{"failed", 1}});
+      attempt_scope.close(
+          {{"failed", 1}, {"algo", static_cast<std::int64_t>(algo)}});
       attempt_failed = true;
     }
     if (attempt_failed) {
@@ -1219,7 +1246,7 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
     // catch-all is what keeps the WaitGroup complete (no silent hang) when
     // a fault strikes mid-allreduce.
     static sim::Task<void> go(Cluster& cl, comm::Communicator& sc,
-                              int exec_id, int rank,
+                              comm::AlgoId algo, int exec_id, int rank,
                               const SplitAggSpec<T, U, V>& spec,
                               std::shared_ptr<U> local,
                               std::shared_ptr<V>& result,
@@ -1243,7 +1270,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         ops.bytes = spec.v_bytes;
         ops.concat = spec.concat_op;
         ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
-        V full = co_await comm::rabenseifner_allreduce<V>(sc, rank, ops);
+        V full = co_await comm::CollectiveRegistry<V>::instance().allreduce(
+            algo, sc, rank, ops);
         if (!cl.executor_alive(exec_id)) {
           throw comm::CollectiveFailed("executor died after allreduce");
         }
@@ -1268,6 +1296,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
     m->ring_stage_attempts = ring_attempt;
     const Time attempt_start = cl.simulator().now();
     bool attempt_failed = false;
+    // Resolved per attempt from the live membership (see split_aggregate).
+    comm::AlgoId algo = cl.config().collective_algo;
     // Same failed-span / detect / backoff contiguity contract as the ring
     // stage of split_aggregate (obs::recovery_from_trace relies on it).
     obs::TraceSink::Scope attempt_scope(
@@ -1306,6 +1336,12 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         }
       }
       const int n = sc.size();
+      algo = comm::resolve_algo(
+          comm::CollectiveOp::kAllreduce, cl.config().collective_algo,
+          cl.collective_cost_inputs(detail::aggregator_bytes(spec, per_exec),
+                                    n));
+      cl.metrics().add(std::string("agg.collective.") + comm::to_string(algo),
+                       1);
       std::shared_ptr<V> result;  // fresh per attempt: rank 0 sets it.
       std::exception_ptr error;
       sim::WaitGroup wg(cl.simulator());
@@ -1314,14 +1350,14 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         const int e = cl.executor_of_rank(r);
         auto localv = per_exec[static_cast<std::size_t>(e)];
         if (!localv) localv = std::make_shared<U>(spec.base.zero);
-        cl.simulator().spawn(AllreduceTask::go(cl, sc, e, r, spec,
+        cl.simulator().spawn(AllreduceTask::go(cl, sc, algo, e, r, spec,
                                                std::move(localv), result,
                                                result_key, wg, error));
       }
       co_await wg.wait();
       if (error) std::rethrow_exception(error);
       m->end = cl.simulator().now();
-      attempt_scope.close();
+      attempt_scope.close({{"algo", static_cast<std::int64_t>(algo)}});
       tr.span_at("phase", "agg_compute", obs::kDriverPid, 0, m->start,
                  m->compute_done, {{"job", job}});
       tr.span_at("phase", "agg_reduce", obs::kDriverPid, 0, m->compute_done,
@@ -1331,7 +1367,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
       co_return std::move(*result);
     } catch (const comm::CollectiveFailed&) {
       cl.invalidate_scalable_comm();
-      attempt_scope.close({{"failed", 1}});
+      attempt_scope.close(
+          {{"failed", 1}, {"algo", static_cast<std::int64_t>(algo)}});
       attempt_failed = true;
     }
     if (attempt_failed) {

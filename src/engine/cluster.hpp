@@ -174,6 +174,16 @@ class Cluster {
                               spec_.rates.driver_merge_bw);
   }
 
+  /// Tuner inputs for a collective over the scalable communicator: `n`
+  /// ranks (the live membership of the current stage attempt), each moving
+  /// a `bytes`-sized aggregator over the SC link with the configured
+  /// channel parallelism.
+  comm::CollectiveCostInputs collective_cost_inputs(std::uint64_t bytes,
+                                                    int n) const {
+    return comm::cost_inputs(spec_, spec_.sc_link, bytes, n,
+                             cfg_.sai_parallelism);
+  }
+
   // ---- driver -------------------------------------------------------------
 
   /// The driver's single-threaded event loop. Task dispatch, status-update

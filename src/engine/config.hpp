@@ -7,11 +7,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "comm/registry.hpp"
 #include "sim/types.hpp"
 
 /// \file config.hpp
-/// Engine-level configuration: aggregation mode, fault injection and
-/// straggler plans.
+/// Engine-level configuration: aggregation mode, collective algorithm
+/// selection, fault injection and straggler plans.
 
 namespace sparker::engine {
 
@@ -172,6 +173,11 @@ struct EngineConfig {
   AggMode agg_mode = AggMode::kTree;
   int tree_depth = 2;          ///< Spark treeAggregate depth.
   int sai_parallelism = 4;     ///< P: parallel ring channels (paper: 4).
+  /// Collective algorithm for split aggregation / allreduce, dispatched
+  /// through comm::CollectiveRegistry. kRing is the paper's algorithm (for
+  /// allreduce it aliases to its Rabenseifner composition); kAuto lets the
+  /// cost-model tuner pick per stage attempt from the live topology.
+  comm::AlgoId collective_algo = comm::AlgoId::kRing;
   bool topology_aware = true;  ///< sort executors by hostname for the ring.
   int max_task_attempts = 4;   ///< task retries before the job fails.
   int max_stage_attempts = 4;  ///< stage (collective) retries before failing.

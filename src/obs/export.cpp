@@ -169,6 +169,10 @@ SinkLintResult lint(const TraceSink& sink) {
     } else if (ev.end < ev.ts) {
       ++r.negative_durations;
     }
+    if (std::strcmp(ev.cat, "collective") == 0) {
+      ++r.collective_spans;
+      if (ev.arg("algo", -1) < 0) ++r.collective_spans_missing_algo;
+    }
   }
   return r;
 }
@@ -305,6 +309,11 @@ class TraceLinter {
           std::string ph;
           if (!string_lit(&ph)) return false;
           if (ph == "X") cur_->is_span = true;
+        } else if (cur_ && role == Role::kEventObject && key == "cat" &&
+                   pos_ < s_.size() && s_[pos_] == '"') {
+          std::string cat;
+          if (!string_lit(&cat)) return false;
+          if (cat == "collective") cur_->is_collective = true;
         } else if (cur_ && role == Role::kEventObject && key == "dur") {
           double d;
           if (!number_lit(&d)) return false;
@@ -314,6 +323,10 @@ class TraceLinter {
           if (cur_ && key == "unclosed" &&
               (role == Role::kEventObject || role == Role::kEventInner)) {
             cur_->unclosed = true;
+          }
+          if (cur_ && key == "algo" &&
+              (role == Role::kEventObject || role == Role::kEventInner)) {
+            cur_->has_algo = true;
           }
           if (!value(depth + 1, child)) return false;
         }
@@ -343,6 +356,10 @@ class TraceLinter {
           ++r_->negative_durations;
         }
         if (ev.unclosed) ++r_->unclosed;
+        if (ev.is_collective) {
+          ++r_->collective_spans;
+          if (!ev.has_algo) ++r_->collective_spans_missing_algo;
+        }
       }
     }
     return true;
@@ -384,7 +401,9 @@ class TraceLinter {
   // inside them, so the pointer is saved/restored around every object.
   struct Ev {
     bool is_span = false;
+    bool is_collective = false;
     bool has_dur = false;
+    bool has_algo = false;
     double dur = 0;
     bool unclosed = false;
   };

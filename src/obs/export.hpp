@@ -33,7 +33,14 @@ struct SinkLintResult {
   std::size_t spans = 0;
   std::size_t open_spans = 0;           ///< begun but never ended
   std::size_t negative_durations = 0;   ///< end < ts (impossible by design)
-  bool ok() const { return open_spans == 0 && negative_durations == 0; }
+  std::size_t collective_spans = 0;     ///< cat "collective"
+  /// Collective spans without an `algo` arg: every registry dispatch must
+  /// stamp which algorithm ran, so breakdown tools can group by it.
+  std::size_t collective_spans_missing_algo = 0;
+  bool ok() const {
+    return open_spans == 0 && negative_durations == 0 &&
+           collective_spans_missing_algo == 0;
+  }
 };
 SinkLintResult lint(const TraceSink& sink);
 
@@ -48,9 +55,11 @@ struct FileLintResult {
   std::size_t unclosed = 0;  ///< spans the exporter had to auto-close
   std::size_t spans_missing_dur = 0;
   std::size_t negative_durations = 0;
+  std::size_t collective_spans = 0;  ///< "cat":"collective" spans
+  std::size_t collective_spans_missing_algo = 0;  ///< ...without an algo arg
   bool ok() const {
     return parsed && unclosed == 0 && spans_missing_dur == 0 &&
-           negative_durations == 0;
+           negative_durations == 0 && collective_spans_missing_algo == 0;
   }
 };
 FileLintResult lint_chrome_trace_text(const std::string& text);

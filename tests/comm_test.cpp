@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <vector>
 
 #include "comm/collectives.hpp"
 #include "comm/communicator.hpp"
+#include "comm/registry.hpp"
 #include "comm/topology.hpp"
 #include "net/cluster.hpp"
 #include "sim/random.hpp"
@@ -438,6 +440,136 @@ TEST(Topology, HostnameSortGroupsNodes) {
 TEST(Topology, SingleHostHasNoCrossings) {
   auto execs = enumerate_executors(1, 6);
   EXPECT_EQ(count_inter_host_ring_edges(rank_map_by_hostname(execs)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Collective registry: dispatch, edge-case shapes, cross-algorithm
+// bit-identity.
+// ---------------------------------------------------------------------------
+
+// Runs the registry's reduce-scatter under `algo` and reassembles the
+// scattered segments into one vector (whatever segment layout the
+// algorithm produces).
+Vec registry_rs(AlgoId algo, int n, int p, int len) {
+  World w(n, p);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  std::vector<std::vector<Seg<Vec>>> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] =
+        co_await CollectiveRegistry<Vec>::instance().reduce_scatter(
+            algo, *w.c, rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+  // Segment counts differ per algorithm (P*N for ring, N for halving /
+  // pairwise, 1 for the funnel); infer from what came back.
+  int nseg = 0;
+  std::size_t have = 0;
+  for (auto& segs : got) have += segs.size();
+  nseg = static_cast<int>(have);
+  Vec assembled(static_cast<std::size_t>(len),
+                std::numeric_limits<std::int64_t>::min());
+  for (auto& segs : got) {
+    for (auto& [seg, v] : segs) {
+      auto [lo, hi] = slice_bounds(len, seg, nseg);
+      EXPECT_EQ(static_cast<int>(v.size()), hi - lo);
+      for (int i = lo; i < hi; ++i) {
+        assembled[static_cast<std::size_t>(i)] =
+            v[static_cast<std::size_t>(i - lo)];
+      }
+    }
+  }
+  return assembled;
+}
+
+// Runs the registry's allreduce under `algo`; every rank must return the
+// identical full vector, which the test hands back.
+Vec registry_ar(AlgoId algo, int n, int p, int len) {
+  World w(n, p);
+  std::vector<Vec> locals;
+  for (int r = 0; r < n; ++r) locals.push_back(make_value(r, len));
+  std::vector<Vec> got(static_cast<std::size_t>(n));
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(locals[static_cast<std::size_t>(rank)], len);
+    got[static_cast<std::size_t>(rank)] =
+        co_await CollectiveRegistry<Vec>::instance().allreduce(algo, *w.c,
+                                                               rank, ops);
+  };
+  w.sim->run_task(run_all_ranks(*w.c, body));
+  for (int r = 1; r < n; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], got[0]) << "rank " << r;
+  }
+  return got[0];
+}
+
+class RegistryBitIdentity
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RegistryBitIdentity, AllAlgorithmsMatchSequentialReference) {
+  const auto [n, p, len] = GetParam();
+  const Vec want = expected_sum(n, len);
+  for (AlgoId a : registered_algos(CollectiveOp::kReduceScatter)) {
+    EXPECT_EQ(registry_rs(a, n, p, len), want) << "rs " << to_string(a);
+  }
+  for (AlgoId a : registered_algos(CollectiveOp::kAllreduce)) {
+    EXPECT_EQ(registry_ar(a, n, p, len), want) << "ar " << to_string(a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, RegistryBitIdentity,
+    ::testing::Values(
+        // Non-power-of-two rank counts (halving's pre-fold path).
+        std::tuple{3, 2, 240}, std::tuple{7, 4, 240}, std::tuple{13, 1, 240},
+        // 0- and 1-element segments: len < nseg forces empties everywhere.
+        std::tuple{6, 4, 1}, std::tuple{9, 8, 5}, std::tuple{17, 3, 16},
+        // P far above the useful segment count, and the trivial worlds.
+        std::tuple{5, 8, 3}, std::tuple{1, 4, 16}, std::tuple{2, 1, 1}));
+
+TEST(Registry, UnregisteredAlgoThrows) {
+  World w(2, 1);
+  Vec local = make_value(0, 8);
+  auto body = [&](int rank) -> Task<void> {
+    auto ops = vec_ops(local, 8);
+    (void)co_await CollectiveRegistry<Vec>::instance().reduce_scatter(
+        AlgoId::kAuto, *w.c, rank, ops);  // kAuto must be resolved upstream
+  };
+  EXPECT_THROW(w.sim->run_task(run_all_ranks(*w.c, body)),
+               std::invalid_argument);
+}
+
+TEST(Registry, NamesRoundTrip) {
+  for (AlgoId id : {AlgoId::kAuto, AlgoId::kRing, AlgoId::kHalving,
+                    AlgoId::kPairwise, AlgoId::kRabenseifner,
+                    AlgoId::kDriverFunnel}) {
+    const auto parsed = parse_algo(to_string(id));
+    ASSERT_TRUE(parsed.has_value()) << to_string(id);
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(parse_algo("quux").has_value());
+  EXPECT_FALSE(parse_algo("").has_value());
+}
+
+TEST(Registry, CanonicalAliasingCrossRegistersRingFamily) {
+  // kRing names the reduce-scatter phase, kRabenseifner the allreduce
+  // composition; requesting either for the other op resolves to its alias.
+  CollectiveCostInputs in;
+  in.bytes = 1 << 20;
+  in.n = 8;
+  EXPECT_EQ(resolve_algo(CollectiveOp::kAllreduce, AlgoId::kRing, in),
+            AlgoId::kRabenseifner);
+  EXPECT_EQ(resolve_algo(CollectiveOp::kReduceScatter, AlgoId::kRabenseifner,
+                         in),
+            AlgoId::kRing);
+  // kAuto resolves to something registered for the op.
+  for (CollectiveOp op :
+       {CollectiveOp::kReduceScatter, CollectiveOp::kAllreduce}) {
+    const AlgoId pick = resolve_algo(op, AlgoId::kAuto, in);
+    bool found = false;
+    for (AlgoId a : registered_algos(op)) found = found || a == pick;
+    EXPECT_TRUE(found) << to_string(op);
+  }
 }
 
 }  // namespace

@@ -217,6 +217,9 @@ struct ScenarioResult {
   std::int64_t spec_launches = 0;
   std::int64_t spec_wins = 0;
   std::set<std::string> names;
+  /// Distinct `algo` arg values stamped on cat-"collective" spans.
+  std::set<std::int64_t> collective_algos;
+  std::size_t collective_spans = 0;
   /// [ts, end] of every ring worker span ("ring.rs" / "ring.ag").
   std::vector<std::pair<sim::Time, sim::Time>> ring_spans;
   std::map<std::string, std::int64_t> counters;
@@ -272,6 +275,11 @@ ScenarioResult run_scenario(Mutate&& mutate, bool traced) {
       if (ev.kind == obs::EventKind::kSpan && !ev.is_open_span() &&
           std::strncmp(ev.name, "ring.", 5) == 0) {
         out.ring_spans.emplace_back(ev.ts, ev.end);
+      }
+      if (ev.kind == obs::EventKind::kSpan &&
+          std::strcmp(ev.cat, "collective") == 0) {
+        ++out.collective_spans;
+        out.collective_algos.insert(ev.arg("algo", -1));
       }
     }
   } else {
@@ -429,6 +437,54 @@ TEST(ObsEngine, SpeculationInstantsMatchMetrics) {
   EXPECT_GT(r.stats.speculative_launches, 0);
   EXPECT_EQ(r.spec_launches, r.stats.speculative_launches);
   EXPECT_EQ(r.spec_wins, r.stats.speculative_wins);
+}
+
+TEST(ObsEngine, CollectiveSpansCarryTheResolvedAlgorithm) {
+  // Every collective span the registry opens must be stamped with the
+  // algorithm that actually ran — including under kAuto, where the span
+  // must carry the tuner's pick, never the kAuto sentinel. Both lints
+  // (sink-level and file-level) enforce the same invariant.
+  for (comm::AlgoId algo :
+       {comm::AlgoId::kRing, comm::AlgoId::kHalving, comm::AlgoId::kPairwise,
+        comm::AlgoId::kDriverFunnel, comm::AlgoId::kAuto}) {
+    const ScenarioResult r = run_scenario(
+        [algo](engine::EngineConfig& c) { c.collective_algo = algo; },
+        /*traced=*/true);
+    const char* label = comm::to_string(algo);
+    ASSERT_GT(r.collective_spans, 0u) << label;
+    EXPECT_EQ(r.lint.collective_spans, r.collective_spans) << label;
+    EXPECT_EQ(r.lint.collective_spans_missing_algo, 0u) << label;
+    const auto file = obs::lint_chrome_trace_text(r.trace_json);
+    EXPECT_EQ(file.collective_spans, r.collective_spans) << label;
+    EXPECT_EQ(file.collective_spans_missing_algo, 0u) << label;
+    ASSERT_EQ(r.collective_algos.size(), 1u)
+        << label << ": one algorithm per clean run";
+    const auto stamped =
+        static_cast<comm::AlgoId>(*r.collective_algos.begin());
+    if (algo == comm::AlgoId::kAuto) {
+      EXPECT_NE(stamped, comm::AlgoId::kAuto) << label;
+    } else {
+      EXPECT_EQ(stamped, algo) << label;
+    }
+  }
+}
+
+TEST(ObsEngine, TracesAreDeterministicPerAlgorithm) {
+  // Byte-identical exports for identical runs, for every selectable
+  // algorithm (the schedule-matrix determinism test only covers the
+  // default ring).
+  for (comm::AlgoId algo :
+       {comm::AlgoId::kHalving, comm::AlgoId::kPairwise,
+        comm::AlgoId::kDriverFunnel, comm::AlgoId::kAuto}) {
+    auto mutate = [algo](engine::EngineConfig& c) {
+      c.collective_algo = algo;
+    };
+    const ScenarioResult a = run_scenario(mutate, /*traced=*/true);
+    const ScenarioResult b = run_scenario(mutate, /*traced=*/true);
+    EXPECT_GT(a.trace_json.size(), 0u) << comm::to_string(algo);
+    EXPECT_EQ(a.trace_json, b.trace_json) << comm::to_string(algo);
+    EXPECT_EQ(a.metrics_json, b.metrics_json) << comm::to_string(algo);
+  }
 }
 
 TEST(ObsEngine, RegistryAbsorbsJobMetrics) {

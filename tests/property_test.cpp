@@ -2,9 +2,11 @@
 // "An Executable Sequential Specification for Spark Aggregation"): for ~200
 // seeded random configurations — rank counts 2..17, parallelism 1..8,
 // uneven partition sizes including empty partitions, segment counts that
-// force zero-length segments — every aggregation path the engine offers
-// (tree, tree+IMM, split) must produce exactly the value of a plain
-// sequential fold. All arithmetic is int64, so "identical" means identical,
+// force zero-length segments, and every registered collective algorithm
+// (including the auto-tuner) — every aggregation path the engine offers
+// (tree, tree+IMM, split, split-allreduce) must produce exactly the value
+// of a plain sequential fold, with and without injected kill / delay /
+// degrade faults. All arithmetic is int64, so "identical" means identical,
 // not approximately equal.
 
 #include <gtest/gtest.h>
@@ -13,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/registry.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
 #include "engine/config.hpp"
@@ -44,6 +47,21 @@ struct Config {
   bool speculation = false;
   bool heartbeats = false;
   bool quarantine = false;
+  // Collective algorithm for the split paths: any registered implementation
+  // or the cost-model auto-tuner. Whatever the registry dispatches must be
+  // bit-identical to the sequential fold.
+  comm::AlgoId algo = comm::AlgoId::kRing;
+  // Fabric faults for the split paths: kill an executor at some fraction of
+  // the clean run's reduce window, and/or delay / degrade a channel from
+  // t=0. Recovery (membership refold + stage retry) must not change the
+  // value.
+  bool kill = false;
+  int kill_exec = 1;
+  int kill_pct = 50;  // percent into the clean run's reduce window.
+  bool delay = false;
+  bool degrade = false;
+  int chan_src = 0;
+  int chan_dst = 1;
 };
 
 Config draw_config(std::uint64_t seed) {
@@ -71,6 +89,23 @@ Config draw_config(std::uint64_t seed) {
   c.speculation = rng.bernoulli(0.5);
   c.heartbeats = rng.bernoulli(0.25);
   c.quarantine = rng.bernoulli(0.25);
+  static constexpr comm::AlgoId kAlgos[] = {
+      comm::AlgoId::kAuto, comm::AlgoId::kRing, comm::AlgoId::kHalving,
+      comm::AlgoId::kPairwise, comm::AlgoId::kDriverFunnel};
+  c.algo = kAlgos[rng.next_below(5)];
+  c.kill = rng.bernoulli(0.3);
+  c.kill_exec =
+      1 + static_cast<int>(rng.next_below(
+              static_cast<std::uint64_t>(c.num_nodes - 1)));  // never exec 0
+  c.kill_pct = 10 + static_cast<int>(rng.next_below(81));     // 10..90
+  c.delay = rng.bernoulli(0.2);
+  c.degrade = rng.bernoulli(0.2);
+  c.chan_src = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(c.num_nodes)));
+  c.chan_dst = (c.chan_src + 1 +
+                static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(c.num_nodes - 1)))) %
+               c.num_nodes;
   return c;
 }
 
@@ -155,6 +190,7 @@ EngineConfig engine_config(const Config& c, AggMode mode) {
   EngineConfig cfg;
   cfg.agg_mode = mode;
   cfg.sai_parallelism = c.parallelism;
+  cfg.collective_algo = c.algo;
   cfg.stragglers = c.stragglers;
   cfg.health.speculation = c.speculation;
   cfg.health.heartbeats = c.heartbeats;
@@ -162,6 +198,10 @@ EngineConfig engine_config(const Config& c, AggMode mode) {
   // Partition costs here are microseconds, so monitor at that scale too —
   // otherwise the stage ends before the first speculation check.
   cfg.health.speculation_interval = sim::microseconds(500);
+  // Fault-injection runs need timeouts at the harness's (tiny) time scale;
+  // fault-free runs never hit either knob.
+  cfg.collective_timeout = sim::milliseconds(400);
+  cfg.stage_retry_backoff = sim::milliseconds(10);
   return cfg;
 }
 
@@ -177,16 +217,55 @@ Vec run_tree(const Config& c, AggMode mode) {
   return sim.run_task(job());
 }
 
-Vec run_split(const Config& c) {
+Vec run_split(const Config& c, const FaultSchedule& schedule = {},
+              AggMetrics* m = nullptr) {
   Simulator sim;
-  Cluster cl(sim, spec_for(c), engine_config(c, AggMode::kSplit));
+  EngineConfig cfg = engine_config(c, AggMode::kSplit);
+  cfg.fault_schedule = schedule;
+  Cluster cl(sim, spec_for(c), cfg);
   CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
                               seeded_rows(c));
   auto spec = split_sum_spec(c.dim);
   auto job = [&]() -> Task<Vec> {
-    co_return co_await split_aggregate(cl, rdd, spec);
+    co_return co_await split_aggregate(cl, rdd, spec, m);
   };
   return sim.run_task(job());
+}
+
+Vec run_allreduce(const Config& c, const FaultSchedule& schedule = {}) {
+  Simulator sim;
+  EngineConfig cfg = engine_config(c, AggMode::kSplit);
+  cfg.fault_schedule = schedule;
+  Cluster cl(sim, spec_for(c), cfg);
+  CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
+                              seeded_rows(c));
+  auto spec = split_sum_spec(c.dim);
+  auto job = [&]() -> Task<Vec> {
+    co_return co_await split_allreduce(cl, rdd, spec);
+  };
+  return sim.run_task(job());
+}
+
+// The config's drawn fabric faults, with the kill placed inside the clean
+// run's reduce window.
+FaultSchedule drawn_faults(const Config& c, const AggMetrics& clean) {
+  FaultSchedule schedule;
+  schedule.seed = c.seed;
+  if (c.delay) {
+    schedule.delay_channel(0, c.chan_src, c.chan_dst, /*channel=*/-1,
+                           sim::microseconds(50));
+  }
+  if (c.degrade) {
+    schedule.degrade_channel(0, c.chan_src, c.chan_dst, /*channel=*/-1,
+                             /*factor=*/4.0);
+  }
+  if (c.kill) {
+    const sim::Time t =
+        clean.compute_done + (clean.end - clean.compute_done) *
+                                 static_cast<sim::Time>(c.kill_pct) / 100;
+    schedule.kill_executor(t, c.kill_exec);
+  }
+  return schedule;
 }
 
 void check_config(std::uint64_t seed) {
@@ -194,13 +273,22 @@ void check_config(std::uint64_t seed) {
   SCOPED_TRACE(::testing::Message()
                << "seed=" << seed << " N=" << c.num_nodes
                << " P=" << c.parallelism << " parts=" << c.num_partitions
-               << " dim=" << c.dim << " stragglers=" << c.stragglers.slowdown.size()
+               << " dim=" << c.dim << " algo=" << comm::to_string(c.algo)
+               << " stragglers=" << c.stragglers.slowdown.size()
                << " spec=" << c.speculation << " hb=" << c.heartbeats
-               << " quar=" << c.quarantine);
+               << " quar=" << c.quarantine << " kill=" << c.kill
+               << " delay=" << c.delay << " degrade=" << c.degrade);
   const Vec want = sequential_reference(c);
   EXPECT_EQ(run_tree(c, AggMode::kTree), want) << "tree";
   EXPECT_EQ(run_tree(c, AggMode::kTreeImm), want) << "tree+IMM";
-  EXPECT_EQ(run_split(c), want) << "split";
+  AggMetrics clean;
+  EXPECT_EQ(run_split(c, {}, &clean), want) << "split";
+  EXPECT_EQ(run_allreduce(c), want) << "allreduce";
+  if (c.kill || c.delay || c.degrade) {
+    const FaultSchedule schedule = drawn_faults(c, clean);
+    EXPECT_EQ(run_split(c, schedule), want) << "split+faults";
+    EXPECT_EQ(run_allreduce(c, schedule), want) << "allreduce+faults";
+  }
 }
 
 // ~200 configurations, sharded so a failure names a narrow seed range.
@@ -231,6 +319,38 @@ TEST(AggregationEquivalence, ZeroLengthSegmentsEverywhere) {
   const Vec want = sequential_reference(c);
   EXPECT_EQ(run_split(c), want);
   EXPECT_EQ(run_tree(c, AggMode::kTreeImm), want);
+}
+
+// Every selectable algorithm — the full enum, since canonical aliasing maps
+// ring<->rabenseifner across the two collective ops — must agree bit-for-bit
+// with the sequential fold on both split paths, clean and with an executor
+// killed mid-reduce.
+TEST(AggregationEquivalence, EveryAlgorithmCleanAndFaulted) {
+  Config base;
+  base.seed = 11;
+  base.num_nodes = 6;
+  base.parallelism = 3;
+  base.num_partitions = 9;
+  base.dim = 17;
+  base.rows_per_part = {4, 0, 2, 9, 1, 0, 5, 3, 7};
+  const Vec want = sequential_reference(base);
+  for (comm::AlgoId algo :
+       {comm::AlgoId::kAuto, comm::AlgoId::kRing, comm::AlgoId::kHalving,
+        comm::AlgoId::kPairwise, comm::AlgoId::kRabenseifner,
+        comm::AlgoId::kDriverFunnel}) {
+    SCOPED_TRACE(::testing::Message() << "algo=" << comm::to_string(algo));
+    Config c = base;
+    c.algo = algo;
+    AggMetrics clean;
+    EXPECT_EQ(run_split(c, {}, &clean), want) << "clean split";
+    EXPECT_EQ(run_allreduce(c), want) << "clean allreduce";
+    c.kill = true;
+    c.kill_exec = 2;
+    c.kill_pct = 50;
+    const FaultSchedule schedule = drawn_faults(c, clean);
+    EXPECT_EQ(run_split(c, schedule), want) << "faulted split";
+    EXPECT_EQ(run_allreduce(c, schedule), want) << "faulted allreduce";
+  }
 }
 
 TEST(AggregationEquivalence, AllPartitionsEmpty) {
