@@ -17,6 +17,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 using namespace sparker;
@@ -27,6 +28,7 @@ double tree_reduce_seconds(const net::ClusterSpec& spec, int executors,
                            std::uint64_t bytes) {
   // Binomial reduce of whole values to rank 0, over SC links.
   sim::Simulator sim;
+  bench::SimSpeedScope speed(sim);
   net::FabricParams fp = spec.fabric;
   const int per_host = spec.executors_per_node;
   const int hosts = (executors + per_host - 1) / per_host;
@@ -108,7 +110,7 @@ int main(int argc, char** argv) {
            bench::fmt(1e3 * tree_reduce_seconds(spec, 24, sz.bytes), 2)});
     }
     t.print();
-    bench::JsonReport("ablation_collectives").add_table("results", t).write();
+    bench::JsonReport("ablation_collectives").add_table("results", t).with_sim_speed().write();
     std::printf(
         "\nSmall messages: latency-optimal algorithms (funnel/halving/tree) "
         "win.\nLarge messages: bandwidth-optimal ring/pairwise win by a wide "
@@ -152,6 +154,6 @@ int main(int argc, char** argv) {
       .add_table("results", t)
       .set("match_points", static_cast<double>(matches))
       .set("total_points", static_cast<double>(points))
-      .write();
+      .with_sim_speed().write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "data/presets.hpp"
 #include "engine/cluster.hpp"
@@ -27,6 +28,7 @@ struct Outcome {
 Outcome run(const net::ClusterSpec& spec, engine::AggMode mode,
             bool allreduce, int iters) {
   sim::Simulator simulator;
+  bench::SimSpeedScope speed(simulator);
   engine::Cluster cluster(simulator, spec);
   cluster.config().agg_mode = mode;
   const auto& w = ml::workload_by_name("SVM-K12");
@@ -77,7 +79,7 @@ int main() {
     row("Sparker+AR", ar);
   }
   t.print();
-  bench::JsonReport("ablation_driver_bottleneck").add_table("results", t).write();
+  bench::JsonReport("ablation_driver_bottleneck").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nThe allreduce variant removes the driver collect and the "
       "per-iteration 437 MB broadcast; its advantage over plain Sparker "

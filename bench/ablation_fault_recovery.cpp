@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "bench_util/trace_opt.hpp"
 #include "engine/aggregate.hpp"
@@ -98,6 +99,7 @@ Run run_with(const engine::FaultSchedule& schedule,
   cfg.fault_schedule = schedule;
   cfg.trace.enabled = true;
   sim::Simulator simulator;
+  bench::SimSpeedScope speed(simulator);
   net::ClusterSpec spec = net::ClusterSpec::bic(kNodes);
   spec.fabric.gc.enabled = false;
   engine::Cluster cluster(simulator, spec, cfg);
@@ -247,7 +249,7 @@ int main(int argc, char** argv) {
       .set("baseline_s", base_s)
       .add_table("results", t)
       .set("recovery_source", "trace")
-      .write();
+      .with_sim_speed().write();
 
   std::printf(
       "\nEvery faulted run returns the bit-identical fault-free value; the "

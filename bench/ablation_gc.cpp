@@ -9,6 +9,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 using namespace sparker;
@@ -46,7 +47,7 @@ int main() {
       .add_table("throughput", t)
       .set("rs_gc_on_s", with_gc)
       .set("rs_gc_off_s", without)
-      .write();
+      .with_sim_speed().write();
   std::printf(
       "\nGC pauses are why the paper's Figure 13 curves wobble at large "
       "sizes and why a native (MPI) transport stays smooth.\n");

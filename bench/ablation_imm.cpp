@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
@@ -23,6 +24,7 @@ namespace {
 double run(int tasks_per_executor, engine::AggMode mode,
            std::uint64_t modeled_bytes) {
   sim::Simulator simulator;
+  bench::SimSpeedScope speed(simulator);
   net::ClusterSpec spec = net::ClusterSpec::bic(4);
   engine::Cluster cluster(simulator, spec);
   cluster.config().agg_mode = mode;
@@ -90,7 +92,7 @@ int main() {
   bench::JsonReport("ablation_imm")
       .add_table("tasks_per_executor", t)
       .add_table("aggregator_size", t2)
-      .write();
+      .with_sim_speed().write();
   std::printf(
       "\nIMM's gain appears only with >1 task per executor and grows with "
       "aggregator size — it removes per-task serialization and shrinks the "

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "bench_util/trace_opt.hpp"
 #include "engine/aggregate.hpp"
@@ -113,6 +114,7 @@ Run run_with(const engine::EngineConfig& base,
   cfg.stage_retry_backoff = sim::milliseconds(10);
   cfg.trace.enabled = true;
   sim::Simulator simulator;
+  bench::SimSpeedScope speed(simulator);
   net::ClusterSpec spec = net::ClusterSpec::bic(kNodes);
   spec.executors_per_node = 1;
   spec.cores_per_executor = 2;
@@ -276,7 +278,7 @@ int main(int argc, char** argv) {
                bench::fmt_times(total_s / base_s, 2)});
   }
   t.print();
-  report.add_table("results", t).set("speculation_source", "trace").write();
+  report.add_table("results", t).set("speculation_source", "trace").with_sim_speed().write();
 
   std::printf(
       "\nEvery schedule returns the bit-identical fault-free value. "

@@ -9,6 +9,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -42,7 +43,7 @@ int main() {
                trend});
   }
   t.print();
-  bench::JsonReport("fig01_mllib_speedup").add_table("results", t).write();
+  bench::JsonReport("fig01_mllib_speedup").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nmeasured: average speedup %.2fx (paper 1.25x); LDA-N %.2fx (paper "
       "2.49x); LR-K %.2fx (paper 0.73x); perfect would be 8x\n",

@@ -15,6 +15,7 @@
 #include <cstdlib>
 
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/table.hpp"
 #include "bench_util/trace_opt.hpp"
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
       .add_table("results", t)
       .set("phase_source", "trace")
       .set("max_phase_rel_err", max_err)
-      .write();
+      .with_sim_speed().write();
   std::printf(
       "\nmeasured: geometric-mean aggregation share %.1f%% (paper 67.69%%)\n",
       std::exp(log_sum / n));

@@ -8,6 +8,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -40,7 +41,7 @@ int main() {
                bench::fmt(r.total_s, 1)});
   }
   t.print();
-  bench::JsonReport("fig03_lda_scaling_bic").add_table("results", t).write();
+  bench::JsonReport("fig03_lda_scaling_bic").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nmeasured: compute shrinks %.2fx (paper 4.47x: 1152.38->342.43 s); "
       "reduction grows %.2fx (paper 1.69x: 111.05->187.48 s)\n",

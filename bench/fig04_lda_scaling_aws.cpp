@@ -8,6 +8,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -42,7 +43,7 @@ int main() {
                bench::fmt(pct, 1)});
   }
   t.print();
-  bench::JsonReport("fig04_lda_scaling_aws").add_table("results", t).write();
+  bench::JsonReport("fig04_lda_scaling_aws").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nmeasured 8->960 cores: compute shrinks %.2fx (paper 4.66x); "
       "reduction grows %.2fx (paper 4.22x); reduction share %.1f%% -> "

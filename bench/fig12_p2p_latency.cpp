@@ -6,6 +6,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 int main() {
@@ -33,7 +34,7 @@ int main() {
                bench::fmt(r.paper_us, 2), bench::fmt_times(us / mpi_us, 2)});
   }
   t.print();
-  bench::JsonReport("fig12_p2p_latency").add_table("results", t).write();
+  bench::JsonReport("fig12_p2p_latency").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nPaper: BM is 242.24x slower than MPI; SC is 4.56x slower — the\n"
       "latency gap is why Sparker builds its own communication layer.\n");

@@ -10,6 +10,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 int main() {
@@ -51,7 +52,7 @@ int main() {
     t.add_row(std::move(row));
   }
   t.print();
-  bench::JsonReport("fig13_p2p_throughput").add_table("results", t).write();
+  bench::JsonReport("fig13_p2p_throughput").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nmeasured peaks: SC(p=4) %.1f MB/s (%.1f%% of MPI %.1f MB/s)\n"
       "paper:          SC(p=4) 1151.8 MB/s (97.1%% of MPI 1185.4 MB/s)\n",

@@ -9,6 +9,7 @@
 #include "bench_util/algo_opt.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
                bench::fmt(naive, 2)});
   }
   t.print();
-  bench::JsonReport("fig14_rs_parallelism").add_table("results", t).write();
+  bench::JsonReport("fig14_rs_parallelism").add_table("results", t).with_sim_speed().write();
   std::printf(
       "\nmeasured: 8-par speedup over 1-par %.2fx (paper 3.06x); "
       "topology-awareness speedup at p=8 %.2fx (paper 2.76x)\n",

@@ -11,6 +11,7 @@
 #include "bench_util/algo_opt.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -61,7 +62,47 @@ int main(int argc, char** argv) {
                bench::fmt(mpi_big, 1)});
   }
   t.print();
-  bench::JsonReport("fig15_rs_scalability").add_table("results", t).write();
+  bench::JsonReport report("fig15_rs_scalability");
+  report.add_table("results", t);
+
+  // --extended: beyond the paper's 48 executors, push the same experiment
+  // to 10k+ executors. The ring is O(n) rounds, so the large points use
+  // recursive halving (what the tuner picks at this scale) and the batched
+  // NIC pacing mode — per-chunk events would dominate the kernel otherwise.
+  bool extended = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--extended") extended = true;
+  }
+  if (extended) {
+    std::printf("\nExtended sweep: 128..10240 executors, halving, "
+                "batched pacing\n");
+    net::ClusterSpec big = spec;
+    big.sc_link.batched_pacing = true;
+    bench::Table ext({"executors", "SC 256KB (ms)", "SC 256MB (ms)",
+                      "wall (s)"});
+    for (int execs : {128, 512, 2048, 10240}) {
+      const double w0 = bench::sim_speed().wall_s;
+      auto run = [&](std::uint64_t bytes) {
+        bench::RsOptions opt;
+        opt.executors = execs;
+        opt.parallelism = 4;
+        opt.topology_aware = true;
+        opt.message_bytes = bytes;
+        opt.backend = bench::CommBackend::kScalable;
+        opt.algo = comm::AlgoId::kHalving;
+        return 1e3 * bench::reduce_scatter_seconds(big, opt);
+      };
+      const double small = run(256ull << 10);
+      const double large = run(256ull << 20);
+      ext.add_row({std::to_string(execs), bench::fmt(small, 2),
+                   bench::fmt(large, 1),
+                   bench::fmt(bench::sim_speed().wall_s - w0, 2)});
+    }
+    ext.print();
+    report.add_table("extended", ext);
+  }
+
+  report.with_sim_speed().write();
   std::printf(
       "\nmeasured: SC 256MB 6->48 executors grows %.2fx (paper 1.27x); "
       "SC 256KB grows %.2fx (paper 5.30x)\n",

@@ -14,6 +14,7 @@
 #include "bench_util/algo_opt.hpp"
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -83,6 +84,6 @@ int main(int argc, char** argv) {
       .set("split_speedup_256mb_8node", tree_8node_256 / split_8node_256)
       .set("imm_speedup_256mb_8node", tree_8node_256 / imm_8node_256)
       .set("split_scaling_256mb", split_8node_256 / split_1node_256)
-      .write();
+      .with_sim_speed().write();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "bench_util/runners.hpp"
 #include "bench_util/json.hpp"
+#include "bench_util/sim_speed.hpp"
 #include "bench_util/table.hpp"
 #include "ml/workload.hpp"
 
@@ -63,6 +64,6 @@ int main() {
     report.add_table(c.name, t);
     report.set(std::string(c.name) + "_geomean", std::exp(log_sum / n));
   }
-  report.write();
+  bench::add_sim_speed_fields(report).write();
   return 0;
 }

@@ -4,9 +4,9 @@
 // 14 and 15 directly.
 //
 // Usage:
-//   ./build/examples/reduce_scatter_playground \
-//       [executors=48] [parallelism=4] [msg_mb=256] [topo=1] \
-//       [algo=auto|ring|halving|pairwise|rabenseifner|driver_funnel] \
+//   ./build/examples/reduce_scatter_playground
+//       [executors=48] [parallelism=4] [msg_mb=256] [topo=1]
+//       [algo=auto|ring|halving|pairwise|rabenseifner|driver_funnel]
 //       [backend=sc|bm|mpi]
 
 #include <cstdio>

@@ -117,6 +117,11 @@ class JsonReport {
     return *this;
   }
 
+  /// Appends the process-wide kernel-speed fields (events/sec, wall-clock
+  /// per simulated second). Defined in sim_speed.hpp; callers must include
+  /// it.
+  JsonReport& with_sim_speed();
+
   /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
   bool write() const {
     const std::string path = "BENCH_" + name_ + ".json";

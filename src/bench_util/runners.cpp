@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bench_util/sim_speed.hpp"
 #include "obs/export.hpp"
 
 namespace sparker::bench {
@@ -12,6 +13,7 @@ using sim::Time;
 
 double p2p_latency_us(const net::ClusterSpec& spec, CommBackend backend) {
   Simulator sim;
+  SimSpeedScope speed(sim);
   net::FabricParams fp = spec.fabric;
   fp.gc.enabled = false;  // tiny messages; GC is irrelevant here
   net::Fabric fabric(sim, fp, 2);
@@ -30,6 +32,7 @@ double p2p_throughput_mbps(const net::ClusterSpec& spec, CommBackend backend,
                            int parallelism, std::uint64_t bytes, int messages,
                            bool gc) {
   Simulator sim;
+  SimSpeedScope speed(sim);
   net::FabricParams fp = spec.fabric;
   fp.gc.enabled = gc && fp.gc.enabled;
   net::Fabric fabric(sim, fp, 2);
@@ -66,6 +69,7 @@ double p2p_throughput_mbps(const net::ClusterSpec& spec, CommBackend backend,
 
 double reduce_scatter_seconds(const net::ClusterSpec& spec, RsOptions opt) {
   Simulator sim;
+  SimSpeedScope speed(sim);
   net::FabricParams fp = spec.fabric;
   const int per_host = spec.executors_per_node;
   const int hosts = (opt.executors + per_host - 1) / per_host;
@@ -131,6 +135,7 @@ AggBenchResult aggregation_bench(const net::ClusterSpec& spec,
                                  std::uint64_t message_bytes,
                                  comm::AlgoId algo) {
   Simulator sim;
+  SimSpeedScope speed(sim);
   engine::Cluster cl(sim, spec);
   cl.config().agg_mode = mode;
   cl.config().collective_algo = algo;
@@ -209,6 +214,7 @@ E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
                   const ml::Workload& workload, int iterations,
                   const E2eOptions& opt) {
   Simulator sim;
+  SimSpeedScope speed(sim);
   engine::EngineConfig cfg;
   cfg.agg_mode = mode;
   cfg.trace.enabled = opt.trace || !opt.trace_out.empty();

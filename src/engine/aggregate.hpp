@@ -265,7 +265,7 @@ struct SpecRace {
   };
   std::vector<TaskState> tasks;
   std::vector<Duration> durations;  ///< winners' durations (for the median).
-  sim::Simulator::TimerHandle tick = std::make_shared<bool>(false);
+  sim::Simulator::TimerHandle tick{};  ///< armed lazily by the first tick.
 
   explicit SpecRace(int p) : tasks(static_cast<std::size_t>(p)) {}
 
@@ -291,12 +291,12 @@ struct SpecRace {
 /// the stage has completed) and calls `launch(task, target)` with the first
 /// *healthy* executor other than the primary's, in a deterministic scan.
 /// `launch` may capture stage-frame state: the tick must be cancelled
-/// (`Simulator::cancel(race->tick)`) before the stage frame exits, and
-/// cancelled events never run.
+/// (`cl.simulator().cancel(race->tick)`) before the stage frame exits, and
+/// cancelled events never run (their closures are reclaimed eagerly).
 inline void arm_speculation_tick(
     Cluster& cl, std::shared_ptr<SpecRace> race,
     std::shared_ptr<std::function<void(int, int)>> launch, Time at) {
-  cl.simulator().call_at_cancellable(
+  race->tick = cl.simulator().call_at_cancellable(
       at,
       [&cl, race, launch, at] {
         const HealthConfig& h = cl.config().health;
@@ -489,7 +489,7 @@ sim::Task<std::vector<Blob<U>>> compute_stage_plain(
     arm_speculation_tick(cl, race, launch,
                          t0 + cl.config().health.speculation_interval);
     co_await wg.wait();
-    sim::Simulator::cancel(race->tick);
+    cl.simulator().cancel(race->tick);
     // On an error path, drain all attempts *before* throwing: zombies must
     // not outlive the frames they reference.
     if (error) co_await attempts_wg->wait();
@@ -685,7 +685,7 @@ sim::Task<std::vector<Blob<U>>> compute_stage_imm(
                            t0 + cl.config().health.speculation_interval);
     }
     co_await wg.wait();
-    if (race) sim::Simulator::cancel(race->tick);
+    if (race) cl.simulator().cancel(race->tick);
     if (error) {
       if (speculate) co_await attempts_wg->wait();
       stage_scope.close({{"failed", 1}});

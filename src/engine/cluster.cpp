@@ -25,7 +25,7 @@ Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
     // One probe per simulator; a second traced cluster on the same sim
     // would displace the first (and the destructor only clears its own).
     sim_probe_ = std::make_unique<obs::SimQueueProbe>(*trace_);
-    sim.set_probe(sim_probe_.get());
+    sim.set_probe(sim_probe_.get(), sim_probe_->stride());
   }
   const auto infos =
       comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);

@@ -163,7 +163,7 @@ class HealthMonitor {
   /// timers are discarded without advancing the simulated clock).
   void on_job_begin() {
     if (++active_jobs_ > 1 || !cfg_->heartbeats) return;
-    token_ = std::make_shared<bool>(false);
+    token_ = sim_->make_timer_token();
     const Time now = sim_->now();
     for (int e = 0; e < num_executors(); ++e) {
       ExecState& st = execs_[static_cast<std::size_t>(e)];
@@ -179,7 +179,7 @@ class HealthMonitor {
 
   void on_job_end() {
     if (--active_jobs_ > 0) return;
-    sim::Simulator::cancel(token_);
+    sim_->cancel(token_);
     token_.reset();
   }
 

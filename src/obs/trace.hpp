@@ -226,17 +226,22 @@ class TraceSink {
 };
 
 /// Sim-kernel probe: samples the event-queue depth and processed-event
-/// count onto counter tracks every `stride` processed events. Registered by
-/// the cluster only when tracing is enabled; purely an observer (SimProbe's
-/// contract forbids scheduling), so it cannot perturb the simulation.
+/// count onto counter tracks. The sampling stride lives in the kernel —
+/// register with `sim.set_probe(&probe, probe.stride())` — so the run loop
+/// pays one counter decrement per event instead of a virtual call.
+/// Registered by the cluster only when tracing is enabled; purely an
+/// observer (SimProbe's contract forbids scheduling), so it cannot perturb
+/// the simulation.
 class SimQueueProbe final : public sim::SimProbe {
  public:
   explicit SimQueueProbe(TraceSink& sink, std::uint64_t stride = 1024)
       : sink_(&sink), stride_(stride == 0 ? 1 : stride) {}
 
+  /// The stride this probe expects to be registered with.
+  std::uint64_t stride() const noexcept { return stride_; }
+
   void on_step(sim::Time /*now*/, std::uint64_t processed,
                std::size_t queue_depth) override {
-    if (processed % stride_ != 0) return;
     sink_->counter("sim.queue_depth", kSimPid,
                    static_cast<std::int64_t>(queue_depth));
     sink_->counter("sim.events_processed", kSimPid,

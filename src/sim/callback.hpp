@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file callback.hpp
+/// Small-buffer-optimized one-shot callable for the simulation kernel.
+///
+/// The event queue stores callbacks out-of-line in a pooled TimerNode slab
+/// (see simulator.hpp); InlineFn is the storage cell. Captures up to
+/// `kInlineBytes` live inside the node itself — scheduling a timer then
+/// costs zero heap allocations — and larger captures fall back to a single
+/// heap cell. Unlike std::function there is no copyability requirement, no
+/// RTTI and no virtual dispatch: three function pointers (invoke, destroy,
+/// relocate) erase the type.
+
+namespace sparker::sim {
+
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFn() noexcept = default;
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  ~InlineFn() { reset(); }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    reset();
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+    }
+    ops_ = &kOps<Fn>;
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invokes the stored callable; must be non-empty.
+  void operator()() { ops_->invoke(target()); }
+
+  /// Destroys the stored callable (and frees its heap cell, if any).
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(target());
+      if (heap_) ::operator delete(heap_);
+      ops_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+ private:
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    /// Move-constructs the callable from `src`'s cell into `dst`'s and
+    /// destroys the source object (heap cells just change owner).
+    void (*relocate)(InlineFn& dst, InlineFn& src);
+  };
+
+  template <typename Fn>
+  static void invoke_impl(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void destroy_impl(void* p) {
+    static_cast<Fn*>(p)->~Fn();
+  }
+  template <typename Fn>
+  static void relocate_impl(InlineFn& dst, InlineFn& src) {
+    if (src.heap_) {
+      dst.heap_ = src.heap_;
+      src.heap_ = nullptr;
+    } else {
+      Fn* from = reinterpret_cast<Fn*>(src.buf_);
+      ::new (static_cast<void*>(dst.buf_)) Fn(std::move(*from));
+      from->~Fn();
+    }
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOps{&invoke_impl<Fn>, &destroy_impl<Fn>,
+                            &relocate_impl<Fn>};
+
+  void* target() noexcept { return heap_ ? heap_ : static_cast<void*>(buf_); }
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) ops_->relocate(*this, other);
+    other.ops_ = nullptr;
+  }
+
+  // Pointers first: the dispatch path reads ops_/heap_ and the head of the
+  // capture; keeping them ahead of the buffer lets a small capture fit in
+  // the same cache line as its TimerNode header.
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace sparker::sim

@@ -33,7 +33,8 @@ class Channel {
       Waiter* w = waiters_.front();
       waiters_.pop_front();
       w->slot.emplace(std::move(value));
-      if (w->settled) *w->settled = true;
+      sim_->cancel(w->timer);  // disarm a pending recv_until timeout
+      w->timer.reset();
       sim_->schedule_now(w->h);
     } else {
       items_.push_back(std::move(value));
@@ -69,10 +70,10 @@ class Channel {
   struct Waiter {
     std::coroutine_handle<> h;
     std::optional<T> slot;
-    // Shared with the timeout timer (if any): lets the timer detect that the
-    // waiter was already served without touching the (possibly destroyed)
-    // awaiter frame.
-    std::shared_ptr<bool> settled;
+    // Timeout timer (if any). Cancellation is eager — the timer's closure is
+    // reclaimed immediately and the event can never fire — so a served
+    // waiter needs no settled flag: the timer simply no longer exists.
+    Simulator::TimerHandle timer{};
   };
 
   struct RecvAwaiter {
@@ -109,26 +110,21 @@ class Channel {
     }
     void await_suspend(std::coroutine_handle<> h) {
       me.h = h;
-      me.settled = std::make_shared<bool>(false);
       ch.waiters_.push_back(&me);
       Channel* c = &ch;
       Waiter* w = &me;
-      std::shared_ptr<bool> settled = me.settled;
-      // `settled` doubles as the timer's cancellation token: a delivery (or
-      // the awaiter's own resumption) disarms the timer, and a cancelled
-      // timer is dropped from the event queue without advancing the clock.
-      ch.sim_->call_at_cancellable(
-          deadline,
-          [c, w, settled, h] {
-            if (*settled) return;  // value arrived first; frame may be gone
-            *settled = true;
-            c->remove_waiter(w);
-            h.resume();  // slot still empty -> await_resume yields nullopt
-          },
-          settled);
+      // A delivery (or the awaiter's own resumption) cancels the timer, and
+      // a cancelled timer is dropped from the event queue without running
+      // and without advancing the clock — so this closure only ever runs
+      // while the waiter is still parked.
+      me.timer = ch.sim_->call_at_cancellable(deadline, [c, w, h] {
+        c->remove_waiter(w);
+        h.resume();  // slot still empty -> await_resume yields nullopt
+      });
     }
     std::optional<T> await_resume() {
-      if (me.settled) *me.settled = true;  // beat the timer; disarm it
+      ch.sim_->cancel(me.timer);  // beat the timer (no-op on the timeout path)
+      me.timer.reset();
       return std::move(me.slot);
     }
   };

@@ -1,0 +1,301 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file event_queue.hpp
+/// Calendar event queue for the discrete-event kernel.
+///
+/// The queue yields events in strict (time, insertion-seq) order — the same
+/// total order the old binary heap produced — so any consumer observes a
+/// bit-identical schedule. Internally it is split by temporal distance:
+///
+///   - a FIFO ring for events at the instant currently being executed
+///     (`t == cursor`). The dominant pattern — schedule_now / same-instant
+///     wakeups — costs one ring slot and no comparisons, and FIFO order *is*
+///     seq order because seq is monotonically assigned.
+///   - a near window of `kBuckets` buckets of power-of-two width, with a
+///     64-bit-word occupancy bitmap. Each bucket is a small binary min-heap
+///     on (t, seq): pushes are amortized O(1) sift-ups, extraction is
+///     O(log k) over a bucket-local k, and — unlike sort-on-visit — the
+///     cost is insensitive to pushes interleaving with drains.
+///   - an unsorted far vector for events beyond the window. When the near
+///     window drains, the window is re-anchored at the earliest far event
+///     and the far vector is partitioned into it in one linear pass. The
+///     bucket width adapts (feedback on migrated count) toward a few events
+///     per bucket, so dense preloads and sparse timer horizons both stay
+///     close to O(1) per event.
+///
+/// Invariants relied on for correctness (see DESIGN.md §12): pushes never
+/// predate the simulator clock, the cursor never exceeds the earliest queued
+/// event, and all far events lie at or beyond the current window end.
+
+namespace sparker::sim {
+
+/// Event-kind tag: what `QueuedEvent::payload` refers to.
+inline constexpr std::uint32_t kEventCoro = 0;   ///< coroutine handle address
+inline constexpr std::uint32_t kEventTimer = 1;  ///< timer-node pool index
+
+/// Slim POD event record (32 bytes). Callbacks live out-of-line in the
+/// simulator's timer-node pool; `gen` detects stale (cancelled-and-recycled)
+/// timer entries at pop time.
+struct QueuedEvent {
+  Time t;
+  std::uint64_t seq;
+  std::uint64_t payload;
+  std::uint32_t gen;
+  std::uint32_t kind;
+};
+
+/// Growable power-of-two ring buffer of events.
+class EventFifo {
+ public:
+  bool empty() const noexcept { return head_ == tail_; }
+  std::size_t size() const noexcept { return tail_ - head_; }
+  const QueuedEvent& front() const noexcept { return buf_[head_ & mask_]; }
+
+  void push(const QueuedEvent& ev) {
+    if (tail_ - head_ == buf_.size()) grow();
+    buf_[tail_++ & mask_] = ev;
+  }
+
+  QueuedEvent pop() noexcept { return buf_[head_++ & mask_]; }
+
+ private:
+  void grow() {
+    std::vector<QueuedEvent> next(buf_.size() * 2);
+    const std::size_t n = tail_ - head_;
+    for (std::size_t i = 0; i < n; ++i) next[i] = buf_[(head_ + i) & mask_];
+    buf_ = std::move(next);
+    mask_ = buf_.size() - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<QueuedEvent> buf_ = std::vector<QueuedEvent>(256);
+  std::size_t mask_ = 255;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+class CalendarQueue {
+ public:
+  static constexpr std::size_t kLogBuckets = 14;
+  static constexpr std::size_t kBuckets = std::size_t{1} << kLogBuckets;
+  static constexpr std::size_t kWords = kBuckets / 64;
+  static constexpr unsigned kMinLogWidth = 6;    ///< 64 ns buckets
+  static constexpr unsigned kMaxLogWidth = 24;   ///< ~16.8 ms buckets
+
+  CalendarQueue() : buckets_(kBuckets), occ_(kWords, 0) {}
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Installs a stale-entry predicate consulted when far events migrate into
+  /// the near window: entries reported stale are dropped instead of staged,
+  /// reclaiming queue space for cancelled timers long before their deadline.
+  /// Dropping a stale entry can never change the dispatch order (stale
+  /// entries are skipped at pop time anyway); it only shrinks size(). The
+  /// simulator disables the filter while a SimProbe is attached so sampled
+  /// queue depths keep the legacy heap's accounting.
+  void set_stale_filter(bool (*is_stale)(const QueuedEvent&, const void*),
+                        const void* ctx) noexcept {
+    stale_ = is_stale;
+    stale_ctx_ = ctx;
+  }
+
+  /// Inserts an event. `now` is the simulator clock, needed only to
+  /// re-anchor the window when pushing into an empty queue; callers
+  /// guarantee `ev.t >= now`.
+  void push(const QueuedEvent& ev, Time now) {
+    if (size_ == 0) anchor(now);
+    ++size_;
+    if (ev.t == cursor_) {
+      fifo_.push(ev);
+      return;
+    }
+    if (ev.t < window_end_) {
+      bucket_insert(ev);
+      return;
+    }
+    if (ev.t < far_min_) far_min_ = ev.t;
+    far_.push_back(ev);
+  }
+
+  /// Earliest queued event time, or kTimeNever when empty. May migrate far
+  /// events into the near window and — with a stale filter installed — drop
+  /// reclaimed entries, so it can empty the queue; it never reorders a live
+  /// event. Callers must treat kTimeNever as "nothing to pop".
+  Time next_time() {
+    if (!fifo_.empty()) return cursor_;
+    while (near_count_ == 0) {
+      if (size_ == 0) return kTimeNever;
+      rebase();
+    }
+    std::size_t w = scan_word_;
+    while (occ_[w] == 0) ++w;
+    scan_word_ = w;
+    const std::size_t b =
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(occ_[w]));
+    return buckets_[b].front().t;
+  }
+
+  /// Removes and returns the earliest event (ties broken by seq, ascending).
+  /// Precondition: a preceding next_time() returned != kTimeNever with no
+  /// mutation in between (or the queue is non-empty and no stale filter is
+  /// installed).
+  QueuedEvent pop() {
+    if (fifo_.empty()) stage_next_run();
+    --size_;
+    return fifo_.pop();
+  }
+
+  /// Best-effort pointer to the event likely to pop next, or nullptr. Valid
+  /// only until the next queue mutation; intended for prefetching payload
+  /// storage while the current event executes. May occasionally point at a
+  /// later event (never at freed memory), which only costs a wasted
+  /// prefetch.
+  /// Fills `out` with up to `cap` such hints (the heap top of the next
+  /// bucket holds the next few candidates). Returns the count.
+  std::size_t next_hints(const QueuedEvent** out,
+                         std::size_t cap) const noexcept {
+    std::size_t n = 0;
+    if (!fifo_.empty() && n < cap) out[n++] = &fifo_.front();
+    if (hint_bucket_ != kBuckets) {
+      const auto& v = buckets_[hint_bucket_];
+      for (std::size_t i = 0; i < v.size() && n < cap; ++i) out[n++] = &v[i];
+    }
+    return n;
+  }
+
+ private:
+  /// Re-anchors an empty queue at the simulator clock so bucket indexing
+  /// stays non-negative for all future (>= now) pushes.
+  void anchor(Time now) noexcept {
+    const Time width = Time{1} << log_width_;
+    cursor_ = now;
+    base_ = now & ~(width - 1);
+    window_end_ = base_ + (width << kLogBuckets);
+    scan_word_ = 0;
+    far_min_ = kTimeNever;
+  }
+
+  /// Index of the first non-empty bucket. Precondition: near_count_ > 0 or
+  /// a rebase can make it so; callers ensure size_ > 0 and fifo_ empty.
+  std::size_t first_occupied_bucket() {
+    while (near_count_ == 0) rebase();
+    std::size_t w = scan_word_;
+    while (occ_[w] == 0) ++w;
+    scan_word_ = w;
+    return (w << 6) + static_cast<std::size_t>(std::countr_zero(occ_[w]));
+  }
+
+  /// Heap comparator yielding a min-heap on (t, seq) with the std::*_heap
+  /// algorithms (which build max-heaps under operator<).
+  struct LaterFirst {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void bucket_insert(const QueuedEvent& ev) {
+    const std::size_t b =
+        static_cast<std::size_t>((ev.t - base_) >> log_width_);
+    auto& v = buckets_[b];
+    v.push_back(ev);
+    std::push_heap(v.begin(), v.end(), LaterFirst{});
+    occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    ++near_count_;
+  }
+
+  /// Moves the earliest run (all events sharing the minimum time) from the
+  /// near window into the FIFO and advances the cursor to that time. Heap
+  /// pops yield ascending seq within the run, so FIFO order is pop order.
+  void stage_next_run() {
+    const std::size_t b = first_occupied_bucket();
+    auto& v = buckets_[b];
+    const Time t = v.front().t;
+    std::size_t moved = 0;
+    do {
+      fifo_.push(v.front());
+      std::pop_heap(v.begin(), v.end(), LaterFirst{});
+      v.pop_back();
+      ++moved;
+    } while (!v.empty() && v.front().t == t);
+    near_count_ -= moved;
+    if (v.empty()) occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    cursor_ = t;
+    hint_bucket_ = b;
+    if (v.empty()) {
+      hint_bucket_ = kBuckets;
+      if (near_count_ > 0) {
+        std::size_t w = scan_word_;
+        while (occ_[w] == 0) ++w;
+        hint_bucket_ =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(occ_[w]));
+      }
+    }
+  }
+
+  /// Re-anchors the near window at the earliest far event and migrates all
+  /// far events that fit into it. The bucket width is feedback-tuned toward
+  /// a few events per bucket.
+  void rebase() {
+    if (last_migrated_ > 8 * kBuckets && log_width_ > kMinLogWidth) {
+      --log_width_;
+    } else if (last_migrated_ != 0 && last_migrated_ < kBuckets / 2 &&
+               log_width_ < kMaxLogWidth) {
+      ++log_width_;
+    }
+    const Time width = Time{1} << log_width_;
+    base_ = far_min_ & ~(width - 1);
+    window_end_ = base_ + (width << kLogBuckets);
+    scan_word_ = 0;
+    std::size_t kept = 0;
+    std::size_t migrated = 0;
+    Time new_min = kTimeNever;
+    for (std::size_t i = 0; i < far_.size(); ++i) {
+      const QueuedEvent& ev = far_[i];
+      if (stale_ && stale_(ev, stale_ctx_)) {
+        --size_;
+        continue;
+      }
+      if (ev.t < window_end_) {
+        bucket_insert(ev);
+        ++migrated;
+      } else {
+        if (ev.t < new_min) new_min = ev.t;
+        far_[kept++] = ev;
+      }
+    }
+    far_.resize(kept);
+    far_min_ = new_min;
+    last_migrated_ = migrated;
+  }
+
+  EventFifo fifo_;
+  std::vector<std::vector<QueuedEvent>> buckets_;
+  std::vector<std::uint64_t> occ_;
+  std::vector<QueuedEvent> far_;
+
+  Time cursor_ = 0;      ///< time of the instant currently draining via fifo_
+  Time base_ = 0;        ///< start of the near window (bucket 0)
+  Time window_end_ = Time{1} << (13 + kLogBuckets);
+  Time far_min_ = kTimeNever;
+  unsigned log_width_ = 13;  ///< initial 8.2 us buckets, ~33 ms window
+  std::size_t scan_word_ = 0;
+  std::size_t size_ = 0;
+  std::size_t near_count_ = 0;
+  std::size_t last_migrated_ = 0;
+  std::size_t hint_bucket_ = kBuckets;  ///< kBuckets = no hint.
+  bool (*stale_)(const QueuedEvent&, const void*) = nullptr;
+  const void* stale_ctx_ = nullptr;
+};
+
+}  // namespace sparker::sim

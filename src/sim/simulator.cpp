@@ -2,34 +2,74 @@
 
 namespace sparker::sim {
 
-void Simulator::purge_cancelled() {
-  // Cancelled timers are discarded without running and without advancing
-  // the clock — a disarmed timeout must not stretch the simulation's end
-  // time when the queue drains.
-  while (!events_.empty()) {
-    const Event& top = events_.top();
-    if (!top.cancelled || !*top.cancelled) return;
-    events_.pop();
+void Simulator::fire_timer(std::uint32_t idx) {
+  TimerNode& n = nodes_[idx];
+  // Detach from its cancellation group (if any) and recycle the slot
+  // *before* invoking: the callback may arm new timers (growing the pool
+  // and invalidating `n`) or cancel its own group, so the closure must be
+  // moved out first and the node must already be free.
+  if (n.group != kInvalid) {
+    TimerGroup& g = groups_[n.group];
+    if (n.prev != kInvalid) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      g.head = n.next;
+    }
+    if (n.next != kInvalid) nodes_[n.next].prev = n.prev;
+    n.group = kInvalid;
+  }
+  InlineFn fn = std::move(n.fn);
+  ++n.gen;
+  n.next_free = free_node_;
+  free_node_ = idx;
+  fn();
+}
+
+void Simulator::dispatch(const QueuedEvent& ev) {
+  --live_;
+  now_ = ev.t;
+  ++processed_;
+  if (ev.kind == kEventCoro) {
+    std::coroutine_handle<>::from_address(
+        reinterpret_cast<void*>(ev.payload))
+        .resume();
+  } else {
+    fire_timer(static_cast<std::uint32_t>(ev.payload));
+  }
+  if (probe_ && --probe_countdown_ == 0) {
+    probe_countdown_ = probe_stride_;
+    probe_->on_step(now_, processed_, queue_.size());
   }
 }
 
 bool Simulator::step() {
-  purge_cancelled();
-  if (events_.empty()) return false;
-  // std::priority_queue::top is const; the event must be moved out, so copy
-  // the POD bits and move the callable via const_cast, which is safe because
-  // the element is popped immediately afterwards.
-  Event ev = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
-  now_ = ev.t;
-  ++processed_;
-  if (ev.h) {
-    ev.h.resume();
-  } else if (ev.fn) {
-    ev.fn();
+  // Stale (cancelled) timer entries are discarded without running, without
+  // advancing the clock and without counting as processed — a disarmed
+  // timeout must not stretch the simulation's end time when the queue
+  // drains.
+  for (;;) {
+    // next_time() (not empty()) is the gate: with no probe attached it may
+    // reclaim stale far entries while migrating, emptying the queue.
+    if (queue_.next_time() == kTimeNever) return false;
+    const QueuedEvent ev = queue_.pop();
+    if (!entry_live(ev)) {
+      --stale_pending_;
+      continue;
+    }
+    // Hide the (random-access) timer-node fetches of upcoming events under
+    // the current event's work. A stale hint only wastes a prefetch.
+    const QueuedEvent* nx[3];
+    const std::size_t hints = queue_.next_hints(nx, 3);
+    for (std::size_t i = 0; i < hints; ++i) {
+      if (nx[i]->kind == kEventCoro) {
+        __builtin_prefetch(reinterpret_cast<void*>(nx[i]->payload));
+      } else if (nx[i]->payload < nodes_.size()) {
+        __builtin_prefetch(&nodes_[nx[i]->payload]);
+      }
+    }
+    dispatch(ev);
+    return true;
   }
-  if (probe_) probe_->on_step(now_, processed_, events_.size());
-  return true;
 }
 
 std::uint64_t Simulator::run() {
@@ -40,13 +80,18 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t n = 0;
-  purge_cancelled();
-  while (!events_.empty() && events_.top().t <= deadline) {
-    step();
+  for (;;) {
+    const Time nt = queue_.next_time();
+    if (nt == kTimeNever || nt > deadline) break;
+    const QueuedEvent ev = queue_.pop();
+    if (!entry_live(ev)) {
+      --stale_pending_;
+      continue;
+    }
+    dispatch(ev);
     ++n;
-    purge_cancelled();
   }
-  if (now_ < deadline && events_.empty()) now_ = deadline;
+  if (now_ < deadline && live_ == 0) now_ = deadline;
   return n;
 }
 

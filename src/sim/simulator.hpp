@@ -4,26 +4,30 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 
 /// \file simulator.hpp
 /// The deterministic discrete-event simulation kernel.
 ///
-/// A Simulator owns a virtual clock and a priority queue of events. Events
-/// are either coroutine resumptions or plain callbacks. Ties in time are
-/// broken by insertion order, which (together with integer time and a seeded
-/// RNG) makes every run bit-reproducible.
+/// A Simulator owns a virtual clock and a calendar event queue. Events are
+/// either coroutine resumptions or timer callbacks stored in a pooled slab
+/// of generation-counted slots. Ties in time are broken by insertion order,
+/// which (together with integer time and a seeded RNG) makes every run
+/// bit-reproducible. See DESIGN.md §12 for the queue architecture and the
+/// determinism contract.
 
 namespace sparker::sim {
 
-/// Passive observer of the kernel's event loop, called after each processed
-/// event. Implementations must only *record* (e.g. sample queue depth for a
-/// trace) — scheduling events or touching the clock from a probe would
-/// break determinism guarantees, so it is forbidden by contract.
+/// Passive observer of the kernel's event loop, called every `stride`
+/// processed events (see Simulator::set_probe). Implementations must only
+/// *record* (e.g. sample queue depth for a trace) — scheduling events or
+/// touching the clock from a probe would break determinism guarantees, so
+/// it is forbidden by contract.
 class SimProbe {
  public:
   virtual ~SimProbe() = default;
@@ -33,7 +37,7 @@ class SimProbe {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { queue_.set_stale_filter(&is_stale_entry, this); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -42,42 +46,93 @@ class Simulator {
 
   /// Schedules a coroutine resumption at absolute time `t` (>= now).
   void schedule_at(Time t, std::coroutine_handle<> h) {
-    events_.push(Event{clamp_future(t), next_seq_++, h, {}, {}});
+    push_event(clamp_future(t),
+               reinterpret_cast<std::uint64_t>(h.address()), 0, kEventCoro);
   }
 
   /// Schedules a coroutine resumption at the current time (runs after all
   /// already-queued events for this instant).
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
-  /// Schedules a plain callback at absolute time `t`.
-  void call_at(Time t, std::function<void()> fn) {
-    events_.push(
-        Event{clamp_future(t), next_seq_++, nullptr, std::move(fn), {}});
+  /// Schedules a plain callback at absolute time `t`. The callable is moved
+  /// into a pooled slot; captures up to InlineFn::kInlineBytes allocate
+  /// nothing.
+  template <typename F>
+  void call_at(Time t, F&& fn) {
+    const std::uint32_t idx = alloc_node();
+    nodes_[idx].fn.emplace(std::forward<F>(fn));
+    push_event(clamp_future(t), idx, nodes_[idx].gen, kEventTimer);
   }
 
-  /// Token for a cancellable timer: set `*token = true` (or use `cancel`)
-  /// and the pending event is discarded without running and — crucially for
-  /// a drained-queue simulation — without advancing the virtual clock.
-  using TimerHandle = std::shared_ptr<bool>;
+  /// Handle for a cancellable timer group: trivially copyable, allocation
+  /// free. Cancelling discards every pending timer armed on the handle —
+  /// without running it, without advancing the virtual clock, and eagerly
+  /// destroying its closure. A stale handle (already cancelled) is a safe
+  /// no-op everywhere; arming on one is a no-op too.
+  struct TimerHandle {
+    std::uint32_t group = kInvalid;
+    std::uint32_t gen = 0;
+    explicit operator bool() const noexcept { return group != kInvalid; }
+    void reset() noexcept {
+      group = kInvalid;
+      gen = 0;
+    }
+  };
+
+  /// Allocates a fresh cancellation group with no timers armed yet.
+  TimerHandle make_timer_token() {
+    const std::uint32_t idx = alloc_group();
+    return TimerHandle{idx, groups_[idx].gen};
+  }
 
   /// Schedules a cancellable callback at absolute time `t`. Pass an existing
-  /// token to tie several timers to one cancellation flag (e.g. a timeout
+  /// token to tie several timers to one cancellation handle (e.g. a timeout
   /// disarmed by the event it guards); otherwise a fresh token is returned.
-  TimerHandle call_at_cancellable(Time t, std::function<void()> fn,
-                                  TimerHandle token = nullptr) {
-    if (!token) token = std::make_shared<bool>(false);
-    events_.push(
-        Event{clamp_future(t), next_seq_++, nullptr, std::move(fn), token});
+  /// Arming on an already-cancelled token discards the callback immediately.
+  template <typename F>
+  TimerHandle call_at_cancellable(Time t, F&& fn, TimerHandle token = {}) {
+    if (!token) {
+      token = make_timer_token();
+    } else if (groups_[token.group].gen != token.gen) {
+      return token;  // cancelled in the meantime: born dead
+    }
+    const std::uint32_t idx = alloc_node();
+    nodes_[idx].fn.emplace(std::forward<F>(fn));
+    link_into_group(idx, token.group);
+    push_event(clamp_future(t), idx, nodes_[idx].gen, kEventTimer);
     return token;
   }
 
-  static void cancel(const TimerHandle& token) {
-    if (token) *token = true;
+  /// Cancels every timer armed on `token` (O(1) per pending timer, no
+  /// allocation) and retires the group; the handle and any copies become
+  /// inert.
+  void cancel(TimerHandle token) noexcept {
+    if (!token) return;
+    TimerGroup& g = groups_[token.group];
+    if (g.gen != token.gen) return;
+    std::uint32_t i = g.head;
+    while (i != kInvalid) {
+      TimerNode& n = nodes_[i];
+      const std::uint32_t next = n.next;
+      n.fn.reset();  // reclaim the closure now, not at the stale deadline
+      ++n.gen;       // the queued entry becomes stale and is skipped on pop
+      n.group = kInvalid;
+      n.next_free = free_node_;
+      free_node_ = i;
+      --live_;
+      ++stale_pending_;
+      i = next;
+    }
+    g.head = kInvalid;
+    ++g.gen;
+    g.next_free = free_group_;
+    free_group_ = token.group;
   }
 
   /// Schedules a plain callback after `d` nanoseconds.
-  void call_after(Duration d, std::function<void()> fn) {
-    call_at(now_ + d, std::move(fn));
+  template <typename F>
+  void call_after(Duration d, F&& fn) {
+    call_at(now_ + d, std::forward<F>(fn));
   }
 
   /// Detaches a task onto the simulator: it starts at the current time and
@@ -117,19 +172,30 @@ class Simulator {
   template <typename T>
   T run_task(Task<T> root);
 
-  /// True if no events remain.
-  bool idle() const noexcept { return events_.empty(); }
+  /// True if no live events remain (cancelled timers don't count).
+  bool idle() const noexcept { return live_ == 0; }
 
   /// Total number of events processed so far.
   std::uint64_t events_processed() const noexcept { return processed_; }
 
-  /// Installs (or, with nullptr, removes) the step probe. At most one probe
-  /// is active; the caller keeps ownership and must clear it before the
-  /// probe dies.
-  void set_probe(SimProbe* probe) noexcept { probe_ = probe; }
+  /// Installs (or, with nullptr, removes) the step probe, invoked every
+  /// `stride` processed events. At most one probe is active; the caller
+  /// keeps ownership and must clear it before the probe dies. The default
+  /// stride of 1 reproduces a call after every event.
+  void set_probe(SimProbe* probe, std::uint64_t stride = 1) noexcept {
+    probe_ = probe;
+    probe_stride_ = stride == 0 ? 1 : stride;
+    probe_countdown_ = probe_stride_;
+    // While a probe samples queue depth, keep cancelled entries queued until
+    // their deadline (matching the legacy heap's accounting) so sampled
+    // depths are bit-identical; otherwise reclaim them eagerly at migration.
+    queue_.set_stale_filter(probe ? nullptr : &is_stale_entry, this);
+  }
   SimProbe* probe() const noexcept { return probe_; }
 
  private:
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+
   struct SleepAwaiter {
     Simulator& sim;
     Time wake_at;
@@ -140,31 +206,97 @@ class Simulator {
     void await_resume() const noexcept {}
   };
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    std::function<void()> fn;
-    TimerHandle cancelled;  ///< null for non-cancellable events.
+  /// Pooled storage for one pending timer. The generation counter is bumped
+  /// whenever the slot is recycled (fire or cancel); a queued event whose
+  /// gen no longer matches is stale and skipped without side effects.
+  struct TimerNode {
+    std::uint32_t gen = 0;
+    std::uint32_t group = kInvalid;
+    std::uint32_t prev = kInvalid;
+    std::uint32_t next = kInvalid;
+    std::uint32_t next_free = kInvalid;
+    InlineFn fn;
   };
 
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;  // earlier insertion first
-    }
+  /// A cancellation group: the set of timers armed on one TimerHandle,
+  /// linked intrusively through the node pool.
+  struct TimerGroup {
+    std::uint32_t gen = 0;
+    std::uint32_t head = kInvalid;
+    std::uint32_t next_free = kInvalid;
   };
 
   Time clamp_future(Time t) const noexcept { return t < now_ ? now_ : t; }
 
-  void purge_cancelled();
+  void push_event(Time t, std::uint64_t payload, std::uint32_t gen,
+                  std::uint32_t kind) {
+    queue_.push(QueuedEvent{t, next_seq_++, payload, gen, kind}, now_);
+    ++live_;
+  }
+
+  std::uint32_t alloc_node() {
+    if (free_node_ != kInvalid) {
+      const std::uint32_t idx = free_node_;
+      free_node_ = nodes_[idx].next_free;
+      nodes_[idx].prev = kInvalid;
+      nodes_[idx].next = kInvalid;
+      return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  std::uint32_t alloc_group() {
+    if (free_group_ != kInvalid) {
+      const std::uint32_t idx = free_group_;
+      free_group_ = groups_[idx].next_free;
+      return idx;
+    }
+    groups_.emplace_back();
+    return static_cast<std::uint32_t>(groups_.size() - 1);
+  }
+
+  void link_into_group(std::uint32_t idx, std::uint32_t group) {
+    TimerNode& n = nodes_[idx];
+    TimerGroup& g = groups_[group];
+    n.group = group;
+    n.prev = kInvalid;
+    n.next = g.head;
+    if (g.head != kInvalid) nodes_[g.head].prev = idx;
+    g.head = idx;
+  }
+
+  bool entry_live(const QueuedEvent& ev) const noexcept {
+    return ev.kind == kEventCoro || nodes_[ev.payload].gen == ev.gen;
+  }
+
+  /// Queue stale filter. The count early-out matters: with no cancellations
+  /// pending, migrating an entry must not pay the (random-access) node-pool
+  /// read that a liveness check costs.
+  static bool is_stale_entry(const QueuedEvent& ev, const void* ctx) noexcept {
+    auto* s = static_cast<Simulator*>(const_cast<void*>(ctx));
+    if (s->stale_pending_ == 0 || s->entry_live(ev)) return false;
+    --s->stale_pending_;
+    return true;
+  }
+
+  void fire_timer(std::uint32_t idx);
+  void dispatch(const QueuedEvent& ev);
   bool step();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t stale_pending_ = 0;  ///< cancelled entries still queued.
   SimProbe* probe_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::uint64_t probe_stride_ = 1;
+  std::uint64_t probe_countdown_ = 1;
+  CalendarQueue queue_;
+  std::vector<TimerNode> nodes_;
+  std::vector<TimerGroup> groups_;
+  std::uint32_t free_node_ = kInvalid;
+  std::uint32_t free_group_ = kInvalid;
 };
 
 template <typename T>

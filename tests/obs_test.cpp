@@ -161,6 +161,55 @@ TEST(Metrics, RegistryAndDeterministicJson) {
   EXPECT_EQ(r1.counters().size(), 0u);
 }
 
+TEST(Metrics, PrometheusExpositionGoldenFormat) {
+  obs::MetricsRegistry reg;
+  reg.add("agg.jobs", 7);
+  reg.set_gauge("health.alive", 48);
+  // Samples 0, 1, 5, 1000: log2 buckets 0, 1, 3 and 10 -> cumulative `le`
+  // bounds 0, 1, 7 and 1023.
+  obs::Histogram& h = reg.histogram("rpc.latency_ns");
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(1000);
+  const std::string expected =
+      "# TYPE agg_jobs counter\n"
+      "agg_jobs 7\n"
+      "# TYPE health_alive gauge\n"
+      "health_alive 48\n"
+      "# TYPE rpc_latency_ns histogram\n"
+      "rpc_latency_ns_bucket{le=\"0\"} 1\n"
+      "rpc_latency_ns_bucket{le=\"1\"} 2\n"
+      "rpc_latency_ns_bucket{le=\"3\"} 2\n"
+      "rpc_latency_ns_bucket{le=\"7\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"15\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"31\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"63\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"127\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"255\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"511\"} 3\n"
+      "rpc_latency_ns_bucket{le=\"1023\"} 4\n"
+      "rpc_latency_ns_bucket{le=\"+Inf\"} 4\n"
+      "rpc_latency_ns_sum 1006\n"
+      "rpc_latency_ns_count 4\n";
+  EXPECT_EQ(reg.to_prometheus(), expected);
+  // Deterministic across identically-filled registries.
+  obs::MetricsRegistry reg2;
+  reg2.add("agg.jobs", 7);
+  reg2.set_gauge("health.alive", 48);
+  obs::Histogram& h2 = reg2.histogram("rpc.latency_ns");
+  h2.observe(0);
+  h2.observe(1);
+  h2.observe(5);
+  h2.observe(1000);
+  EXPECT_EQ(reg.to_prometheus(), reg2.to_prometheus());
+  // Name sanitation: leading digit gets a prefix, odd characters map to _.
+  obs::MetricsRegistry reg3;
+  reg3.add("0bad name-with.dots", 1);
+  const std::string p3 = reg3.to_prometheus();
+  EXPECT_NE(p3.find("_0bad_name_with_dots 1"), std::string::npos);
+}
+
 // ===========================================================================
 // Engine scenarios: a split aggregation under fault/straggler schedules
 // ===========================================================================

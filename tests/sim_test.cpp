@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -389,6 +390,169 @@ TEST(Determinism, IdenticalRunsProduceIdenticalTraces) {
   };
   EXPECT_EQ(trace_run(123), trace_run(123));
   EXPECT_NE(trace_run(123), trace_run(321));
+}
+
+// Randomized schedule/cancel stress against the kernel's ordering contract
+// (DESIGN.md §12): live events fire in strict (time, insertion-order);
+// cancelled groups never fire after cancel(); arming on a cancelled token is
+// born dead; identical seeds give bit-identical histories. Arm times mix
+// dense same-timestamp bursts with far-future horizons so the calendar
+// queue's FIFO, bucket and far-vector paths (and window rebasing) all
+// participate.
+TEST(Determinism, RandomizedScheduleCancelStress) {
+  auto run_once = [](std::uint64_t seed) {
+    std::vector<std::pair<Time, int>> history;
+    Simulator sim;
+    Rng rng(seed);
+    std::vector<Simulator::TimerHandle> handles;
+    std::vector<bool> cancelled;
+    std::vector<int> armed_on, fired_on;
+    int armed_plain = 0, fired_plain = 0;
+    int next_idx = 0;
+    auto driver = [&](Simulator& s) -> Task<void> {
+      for (int round = 0; round < 500; ++round) {
+        const auto action = rng.next_below(100);
+        if (action < 60) {
+          // Arm a burst, often with colliding timestamps.
+          const Time base =
+              s.now() + (rng.next_below(8) == 0 ? (Time{1} << 28)
+                                                : rng.next_below(4096));
+          const int burst = 1 + static_cast<int>(rng.next_below(4));
+          for (int b = 0; b < burst; ++b) {
+            const Time t =
+                rng.next_below(3) != 0 ? base : base + rng.next_below(64);
+            const int idx = next_idx++;
+            if (rng.next_below(2) != 0) {
+              // Cancellable, on a fresh token or piled onto an existing one.
+              std::size_t g;
+              Simulator::TimerHandle token{};
+              if (!handles.empty() && rng.next_below(3) == 0) {
+                g = static_cast<std::size_t>(rng.next_below(handles.size()));
+                token = handles[g];
+              } else {
+                g = handles.size();
+                handles.push_back({});
+                cancelled.push_back(false);
+                armed_on.push_back(0);
+                fired_on.push_back(0);
+              }
+              const auto h = sim.call_at_cancellable(
+                  t,
+                  [&, g, idx] {
+                    EXPECT_FALSE(cancelled[g]) << "cancelled timer fired";
+                    ++fired_on[g];
+                    history.emplace_back(sim.now(), idx);
+                  },
+                  token);
+              handles[g] = h;
+              if (!cancelled[g]) ++armed_on[g];  // else: born dead
+            } else {
+              ++armed_plain;
+              sim.call_at(t, [&, idx] {
+                ++fired_plain;
+                history.emplace_back(sim.now(), idx);
+              });
+            }
+          }
+        } else if (action < 85 && !handles.empty()) {
+          const auto g =
+              static_cast<std::size_t>(rng.next_below(handles.size()));
+          sim.cancel(handles[g]);  // second call on a cancelled g: no-op
+          cancelled[g] = true;
+        }
+        co_await s.sleep(rng.next_below(2048));
+      }
+    };
+    sim.spawn(driver(sim));
+    sim.run();
+    // Completeness: plain timers all fire; an uncancelled group fires all
+    // its arms; a cancelled one never fires past the cancel.
+    EXPECT_EQ(fired_plain, armed_plain);
+    for (std::size_t g = 0; g < handles.size(); ++g) {
+      if (!cancelled[g]) {
+        EXPECT_EQ(fired_on[g], armed_on[g]) << "group " << g;
+      } else {
+        EXPECT_LE(fired_on[g], armed_on[g]) << "group " << g;
+      }
+    }
+    // Ordering contract: non-decreasing time; arm order within one instant.
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      EXPECT_LE(history[i - 1].first, history[i].first);
+      if (history[i - 1].first == history[i].first) {
+        EXPECT_LT(history[i - 1].second, history[i].second);
+      }
+    }
+    return history;
+  };
+  for (std::uint64_t seed : {11u, 29u, 47u}) {
+    const auto a = run_once(seed);
+    const auto b = run_once(seed);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+// Generation-counted slot reuse: a cancelled timer's pool slot can be
+// recycled by a new timer at the same deadline, and the stale queue entry
+// must not fire the new occupant. Stale handles stay inert everywhere.
+TEST(Simulator, TimerSlotReuseAndStaleHandles) {
+  Simulator sim;
+  int fired = 0;
+  auto h1 = sim.call_at_cancellable(100, [&] { fired += 1; });
+  sim.cancel(h1);
+  auto h2 = sim.call_at_cancellable(100, [&] { fired += 10; });
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  sim.cancel(h1);  // stale: no-op
+  sim.cancel(h2);  // group of an already-fired timer: retires, fires nothing
+  sim.cancel(Simulator::TimerHandle{});  // null handle: no-op
+  EXPECT_EQ(fired, 10);
+  // Arming on a cancelled token is born dead and returns the token as-is.
+  auto dead = sim.make_timer_token();
+  sim.cancel(dead);
+  const auto h3 = sim.call_at_cancellable(200, [&] { fired += 100; }, dead);
+  EXPECT_EQ(h3.group, dead.group);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  // One token, several timers: cancel discards all of them.
+  auto multi = sim.make_timer_token();
+  for (int i = 0; i < 3; ++i) {
+    multi = sim.call_at_cancellable(sim.now() + 300 + i, [&] { ++fired; },
+                                    multi);
+  }
+  sim.cancel(multi);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+// Cancelling must destroy the closure immediately — not when the stale
+// queue entry reaches its (possibly far-future) deadline. The old kernel
+// pinned captures until the deadline passed; this pins the fix.
+TEST(Simulator, CancelReclaimsClosureEagerly) {
+  Simulator sim;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> weak = payload;
+  auto h = sim.call_at_cancellable(seconds(5), [p = payload] { (void)*p; });
+  payload.reset();
+  EXPECT_FALSE(weak.expired());  // closure keeps the capture alive
+  sim.cancel(h);
+  EXPECT_TRUE(weak.expired());   // reclaimed at cancel, not at the deadline
+  // Draining the stale entry fires nothing and must not advance the clock:
+  // a disarmed 5 s timeout cannot stretch the simulation's end time.
+  sim.run();
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+// run_until with only a disarmed far timer pending: the clock lands on the
+// deadline (idle simulation), not on the stale timer's time.
+TEST(Simulator, RunUntilIgnoresCancelledTimers) {
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.call_at_cancellable(seconds(5), [&] { ++fired; });
+  sim.cancel(h);
+  sim.run_until(seconds(1));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), seconds(1));
 }
 
 }  // namespace
