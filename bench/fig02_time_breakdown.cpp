@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
 
   const int iters = 5;
   bench::Table t({"workload", "agg-compute %", "agg-reduce %", "non-agg %",
-                  "driver %", "agg total %"});
+                  "bcast %", "driver %", "agg total %"});
   double log_sum = 0;
   int n = 0;
   double max_err = 0;
@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
     for (double e : {rel_err(r.trace_driver_s, r.driver_s),
                      rel_err(r.trace_non_agg_s, r.non_agg_s),
                      rel_err(r.trace_agg_compute_s, r.agg_compute_s),
-                     rel_err(r.trace_agg_reduce_s, r.agg_reduce_s)}) {
+                     rel_err(r.trace_agg_reduce_s, r.agg_reduce_s),
+                     rel_err(r.trace_broadcast_s, r.broadcast_s)}) {
       max_err = std::max(max_err, e);
     }
     if (max_err > 0.01) {
@@ -72,9 +73,12 @@ int main(int argc, char** argv) {
         100.0 * (r.trace_agg_compute_s + r.trace_agg_reduce_s) / total;
     log_sum += std::log(agg_pct);
     ++n;
+    // bcast % is the broadcast share *inside* non-agg: columns other than
+    // it sum to 100.
     t.add_row({w.name, bench::fmt(100.0 * r.trace_agg_compute_s / total, 1),
                bench::fmt(100.0 * r.trace_agg_reduce_s / total, 1),
                bench::fmt(100.0 * r.trace_non_agg_s / total, 1),
+               bench::fmt(100.0 * r.trace_broadcast_s / total, 1),
                bench::fmt(100.0 * r.trace_driver_s / total, 1),
                bench::fmt(agg_pct, 1)});
   }

@@ -229,6 +229,7 @@ E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
   r.non_agg_s = sim::to_seconds(run.breakdown.non_agg);
   r.agg_compute_s = sim::to_seconds(run.breakdown.agg_compute);
   r.agg_reduce_s = sim::to_seconds(run.breakdown.agg_reduce);
+  r.broadcast_s = sim::to_seconds(run.breakdown.broadcast);
   if (cfg.trace.enabled) {
     r.traced = true;
     const obs::PhaseBreakdown ph = obs::phase_breakdown(cl.trace());
@@ -236,6 +237,7 @@ E2eResult run_e2e(const net::ClusterSpec& spec, engine::AggMode mode,
     r.trace_non_agg_s = sim::to_seconds(ph.non_agg);
     r.trace_agg_compute_s = sim::to_seconds(ph.agg_compute);
     r.trace_agg_reduce_s = sim::to_seconds(ph.agg_reduce);
+    r.trace_broadcast_s = sim::to_seconds(ph.broadcast);
     if (!opt.trace_out.empty()) {
       obs::write_chrome_trace(cl.trace(), opt.trace_out);
     }

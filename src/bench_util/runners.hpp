@@ -108,6 +108,8 @@ struct E2eResult {
   double non_agg_s = 0;
   double agg_compute_s = 0;
   double agg_reduce_s = 0;
+  /// Broadcast share of non_agg_s (model shipping; already included there).
+  double broadcast_s = 0;
   /// Trace-derived phase totals (obs::phase_breakdown over the run's
   /// TraceSink). Valid only when the run was traced; the fig02 bench
   /// cross-checks them against the ad-hoc accounting above.
@@ -116,6 +118,7 @@ struct E2eResult {
   double trace_non_agg_s = 0;
   double trace_agg_compute_s = 0;
   double trace_agg_reduce_s = 0;
+  double trace_broadcast_s = 0;
 };
 struct E2eOptions {
   bool trace = false;       ///< record a trace (implied by trace_out).

@@ -266,4 +266,23 @@ AlgoId resolve_algo(CollectiveOp op, AlgoId requested,
                               " is not registered for " + to_string(op));
 }
 
+AlgoId retune_algo(CollectiveOp op, AlgoId configured, AlgoId previous,
+                   const CollectiveCostInputs& in) {
+  if (configured != AlgoId::kAuto || previous == AlgoId::kAuto) {
+    return resolve_algo(op, configured, in);
+  }
+  const AlgoId prev = canonical_algo(op, previous);
+  const AlgoId best = pick_algo(op, in);
+  if (prev == best) return best;
+  bool registered = false;
+  for (AlgoId a : registered_algos(op)) registered |= (a == prev);
+  if (!registered) return best;
+  // Hysteresis: keep the incumbent unless the re-tuned pick is predicted
+  // >10% faster on the new ring, so small membership changes don't flap
+  // the algorithm (and its warm state) back and forth.
+  const double prev_t = predict_seconds(op, prev, in);
+  const double best_t = predict_seconds(op, best, in);
+  return prev_t <= best_t * 1.10 ? prev : best;
+}
+
 }  // namespace sparker::comm

@@ -112,6 +112,15 @@ AlgoId canonical_algo(CollectiveOp op, AlgoId id);
 AlgoId resolve_algo(CollectiveOp op, AlgoId requested,
                     const CollectiveCostInputs& in);
 
+/// resolve_algo with ring-re-formation hysteresis: when the configured
+/// setting is kAuto and `previous` is the (concrete) algorithm the last
+/// stage attempt ran, the incumbent is kept unless the tuner's fresh pick
+/// for the new ring size is predicted >10% faster. A concrete configured
+/// algorithm always wins, and `previous == kAuto` (no prior attempt) falls
+/// back to a plain resolve.
+AlgoId retune_algo(CollectiveOp op, AlgoId configured, AlgoId previous,
+                   const CollectiveCostInputs& in);
+
 namespace detail {
 
 /// Allgather for the one-segment-per-rank layouts (halving / pairwise

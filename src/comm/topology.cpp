@@ -48,6 +48,31 @@ std::vector<int> rank_map_by_hostname(const std::vector<ExecutorInfo>& e) {
   return map;
 }
 
+int ring_successor_executor(const std::vector<ExecutorInfo>& members,
+                            const ExecutorInfo& leaving, bool by_hostname) {
+  if (members.empty()) return -1;
+  std::vector<ExecutorInfo> order = members;
+  order.push_back(leaving);
+  if (by_hostname) {
+    std::sort(order.begin(), order.end(),
+              [](const ExecutorInfo& a, const ExecutorInfo& b) {
+                if (a.hostname != b.hostname) return a.hostname < b.hostname;
+                return a.executor_id < b.executor_id;
+              });
+  } else {
+    std::sort(order.begin(), order.end(),
+              [](const ExecutorInfo& a, const ExecutorInfo& b) {
+                return a.executor_id < b.executor_id;
+              });
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i].executor_id == leaving.executor_id) {
+      return order[(i + 1) % order.size()].executor_id;
+    }
+  }
+  return -1;
+}
+
 int count_inter_host_ring_edges(const std::vector<int>& rank_to_host) {
   const int n = static_cast<int>(rank_to_host.size());
   int crossings = 0;

@@ -35,4 +35,12 @@ std::vector<int> rank_map_by_hostname(const std::vector<ExecutorInfo>& e);
 /// Number of ring edges that cross between different hosts for a mapping.
 int count_inter_host_ring_edges(const std::vector<int>& rank_to_host);
 
+/// Executor id of the member that follows `leaving` in the circular rank
+/// order the next formation will use over `members` (which must NOT contain
+/// `leaving`): the natural home for a drained node's reduce-scatter
+/// partials. `by_hostname` selects the topology-aware comparator. Returns
+/// -1 when `members` is empty.
+int ring_successor_executor(const std::vector<ExecutorInfo>& members,
+                            const ExecutorInfo& leaving, bool by_hostname);
+
 }  // namespace sparker::comm

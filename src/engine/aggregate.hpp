@@ -835,6 +835,307 @@ sim::Task<U> driver_reduce(Cluster& cl, int job, std::vector<Blob<U>> inputs,
   co_return std::move(*acc);
 }
 
+/// The fixed rank <-> executor picture of one ring-stage attempt, captured
+/// immediately after the communicator is (re)built. Every decision the
+/// attempt makes — which partials are outside the ring and must refold,
+/// which executor holds which rank — reads this snapshot, never the live
+/// `rank_of_executor` view: a kill or membership change during the
+/// attempt's awaits would otherwise rebuild the communicator mid-attempt
+/// and shear rank lookups away from the communicator the tasks run on.
+struct RingSnapshot {
+  comm::Communicator* sc = nullptr;
+  int n = 0;
+  std::vector<int> rank_exec;  ///< rank -> executor id.
+  std::vector<int> exec_rank;  ///< executor id -> rank, -1 if outside.
+};
+
+/// Recomputes partitions whose partials sit outside the attempt's rank set
+/// (dead, quarantined, or departed holders), folding them into survivors'
+/// shared values — partition data regenerates deterministically, exactly
+/// like a Spark recompute. Shared by split_aggregate and split_allreduce.
+/// Ownership discipline: each executor's partition list is *moved out*
+/// before the first co_await, so no other recovery path (in particular the
+/// overlapped eager refold) can claim the same partitions twice.
+template <typename T, typename U, typename V>
+sim::Task<void> refold_partials(Cluster& cl, CachedRdd<T>& rdd,
+                                const SplitAggSpec<T, U, V>& spec, int job,
+                                AggMetrics* m, const RingSnapshot& ring,
+                                std::vector<std::shared_ptr<U>>& per_exec,
+                                std::vector<std::vector<int>>& owned) {
+  obs::TraceSink& tr = cl.trace();
+  const int num_exec = cl.num_executors();
+  for (int e = 0; e < num_exec; ++e) {
+    if (ring.exec_rank[static_cast<std::size_t>(e)] >= 0 ||
+        owned[static_cast<std::size_t>(e)].empty()) {
+      continue;
+    }
+    const std::vector<int> lost = std::move(owned[static_cast<std::size_t>(e)]);
+    owned[static_cast<std::size_t>(e)].clear();
+    per_exec[static_cast<std::size_t>(e)].reset();
+    obs::TraceSink::Scope refold_scope(
+        tr, tr.begin("recover", "recover.refold", obs::kDriverPid, 0,
+                     {{"job", job},
+                      {"executor", e},
+                      {"partitions", static_cast<std::int64_t>(lost.size())}}));
+    for (int pid : lost) {
+      int ran_on = -1;
+      U agg = co_await compute_with_retry(cl, rdd, spec.base, job, pid, m,
+                                          /*stage=*/1, &ran_on);
+      auto& dst = per_exec[static_cast<std::size_t>(ran_on)];
+      if (!dst) dst = std::make_shared<U>(spec.base.zero);
+      co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(agg)));
+      spec.base.comb_op(*dst, agg);
+      owned[static_cast<std::size_t>(ran_on)].push_back(pid);
+    }
+  }
+}
+
+/// The stage boundary of one ring attempt, in load-bearing order:
+///
+///  1. membership sync — arrived joiners are admitted (warm-up transfer)
+///     so the new ring can include them;
+///  2. partial migration — each *draining* executor's merged partial moves
+///     to its ring successor over the data plane (one fetch + one merge)
+///     instead of being recomputed, and the drain completes;
+///  3. the communicator is (re)built over the resulting membership and the
+///     rank picture snapshotted before any further await;
+///  4. residual refold — partials still held outside the rank set (dead or
+///     otherwise departed holders) are recomputed onto survivors.
+///
+/// Fixing the rank set before the refold (3 before 4) is the PR-1 TOCTOU
+/// fix: checking liveness before the rebuild would let a kill in between
+/// slip an executor's partial out of the ring without recovery.
+template <typename T, typename U, typename V>
+sim::Task<RingSnapshot> ring_boundary(Cluster& cl, CachedRdd<T>& rdd,
+                                      const SplitAggSpec<T, U, V>& spec,
+                                      int job, AggMetrics* m,
+                                      std::vector<std::shared_ptr<U>>& per_exec,
+                                      std::vector<std::vector<int>>& owned) {
+  obs::TraceSink& tr = cl.trace();
+  co_await cl.sync_membership(/*complete_drains=*/false);
+  const int num_exec = cl.num_executors();
+  for (int d = 0; d < num_exec; ++d) {
+    if (!cl.membership().draining(d)) continue;
+    if (owned[static_cast<std::size_t>(d)].empty() || !cl.executor_alive(d)) {
+      // Nothing to hand off — or the executor died mid-drain, in which case
+      // its partials take the refold path below like any other loss.
+      cl.membership().complete_drain(d);
+      continue;
+    }
+    // Claim the partitions before the first co_await (same no-double-count
+    // discipline as the refold paths).
+    std::vector<int> pids = std::move(owned[static_cast<std::size_t>(d)]);
+    owned[static_cast<std::size_t>(d)].clear();
+    std::shared_ptr<U> value = std::move(per_exec[static_cast<std::size_t>(d)]);
+    per_exec[static_cast<std::size_t>(d)].reset();
+    const int succ = cl.ring_successor(d);
+    if (succ < 0 || !value) {
+      // No live successor to hand off to: fall back to recomputation.
+      owned[static_cast<std::size_t>(d)] = std::move(pids);
+      cl.membership().complete_drain(d);
+      continue;
+    }
+    const std::uint64_t bytes = spec.base.bytes(*value);
+    obs::TraceSink::Scope mig(
+        tr, tr.begin("membership", "membership.migrate", obs::kDriverPid, 0,
+                     {{"job", job},
+                      {"from", d},
+                      {"to", succ},
+                      {"bytes", static_cast<std::int64_t>(bytes)},
+                      {"partitions", static_cast<std::int64_t>(pids.size())}}));
+    co_await cl.fetch_blob(d, succ, bytes);
+    auto& dst = per_exec[static_cast<std::size_t>(succ)];
+    if (!dst) dst = std::make_shared<U>(spec.base.zero);
+    co_await cl.simulator().sleep(cl.merge_cost(bytes));
+    spec.base.comb_op(*dst, *value);
+    for (int pid : pids) {
+      owned[static_cast<std::size_t>(succ)].push_back(pid);
+    }
+    cl.membership().note_migration(static_cast<int>(pids.size()));
+    mig.close();
+    cl.membership().complete_drain(d);
+  }
+  auto& sc = cl.scalable_comm();
+  RingSnapshot ring;
+  ring.sc = &sc;
+  ring.n = sc.size();
+  ring.exec_rank.assign(static_cast<std::size_t>(num_exec), -1);
+  ring.rank_exec.resize(static_cast<std::size_t>(ring.n));
+  for (int r = 0; r < ring.n; ++r) {
+    const int e = cl.executor_of_rank(r);
+    ring.rank_exec[static_cast<std::size_t>(r)] = e;
+    ring.exec_rank[static_cast<std::size_t>(e)] = r;
+  }
+  co_await refold_partials(cl, rdd, spec, job, m, ring, per_exec, owned);
+  co_return ring;
+}
+
+/// Settle-then-backoff between failed ring-stage attempts, optionally
+/// overlapped with an eager refold of partials lost with *physically dead*
+/// executors (`EngineConfig::overlap_recovery`).
+///
+/// Sequential mode reproduces the pre-elastic span structure exactly
+/// (detect.settle then recover.backoff, back to back). Overlapped mode
+/// wraps both branches in one `recover.overlap` span: branch A waits out
+/// heartbeat detection and sleeps the backoff; branch B concurrently
+/// recomputes partials whose holders the fault fabric already killed — a
+/// lost partial is a physical fact, the same omniscience compute_attempt
+/// itself uses — onto executors that are both health-usable and alive.
+/// Partitions that cannot be placed yet are pushed back for the next
+/// boundary's residual refold; since every claim is a move, a partition is
+/// refolded by exactly one path. Results are bit-identical either way;
+/// only the timing of the recomputation changes.
+template <typename T, typename U, typename V>
+sim::Task<void> recover_between_attempts(
+    Cluster& cl, CachedRdd<T>& rdd, const SplitAggSpec<T, U, V>& spec, int job,
+    int ring_attempt, AggMetrics* m,
+    std::vector<std::shared_ptr<U>>& per_exec,
+    std::vector<std::vector<int>>& owned) {
+  obs::TraceSink& tr = cl.trace();
+  const Duration backoff = cl.config().stage_retry_backoff
+                           << (ring_attempt - 1);
+  if (!cl.config().overlap_recovery) {
+    // With heartbeats on, the driver cannot yet tell which member is dead
+    // — rebuilding immediately would re-include it and fail again. Wait
+    // out detection (bounded by executor_timeout); the wait lands in
+    // recovery_time, which is exactly what makes detection latency a
+    // measurable recovery component.
+    const obs::SpanId detect =
+        tr.begin("detect", "detect.settle", obs::kDriverPid, 0,
+                 {{"job", job}, {"attempt", ring_attempt}});
+    co_await cl.health().await_settled();
+    tr.end(detect);
+    // Exponential backoff before re-running the stage.
+    const obs::SpanId pause =
+        tr.begin("recover", "recover.backoff", obs::kDriverPid, 0,
+                 {{"job", job},
+                  {"attempt", ring_attempt},
+                  {"backoff_ns", static_cast<std::int64_t>(backoff)}});
+    co_await cl.simulator().sleep(backoff);
+    tr.end(pause);
+    co_return;
+  }
+
+  obs::TraceSink::Scope overlap(
+      tr, tr.begin("recover", "recover.overlap", obs::kDriverPid, 0,
+                   {{"job", job},
+                    {"attempt", ring_attempt},
+                    {"backoff_ns", static_cast<std::int64_t>(backoff)}}));
+  sim::WaitGroup wg(cl.simulator());
+  wg.add(2);
+  std::exception_ptr error;
+
+  struct Settle {
+    static sim::Task<void> go(Cluster& cl, int job, int ring_attempt,
+                              Duration backoff, sim::WaitGroup& wg,
+                              std::exception_ptr& error) {
+      obs::TraceSink& tr = cl.trace();
+      try {
+        const obs::SpanId detect =
+            tr.begin("detect", "detect.settle", obs::kDriverPid, 0,
+                     {{"job", job}, {"attempt", ring_attempt}});
+        co_await cl.health().await_settled();
+        tr.end(detect);
+        const obs::SpanId pause =
+            tr.begin("recover", "recover.backoff", obs::kDriverPid, 0,
+                     {{"job", job},
+                      {"attempt", ring_attempt},
+                      {"backoff_ns", static_cast<std::int64_t>(backoff)}});
+        co_await cl.simulator().sleep(backoff);
+        tr.end(pause);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      wg.done();
+    }
+  };
+
+  struct EagerRefold {
+    static sim::Task<void> go(Cluster& cl, CachedRdd<T>& rdd,
+                              const SplitAggSpec<T, U, V>& spec, int job,
+                              AggMetrics* m,
+                              std::vector<std::shared_ptr<U>>& per_exec,
+                              std::vector<std::vector<int>>& owned,
+                              sim::WaitGroup& wg, std::exception_ptr& error) {
+      obs::TraceSink& tr = cl.trace();
+      try {
+        const int num_exec = cl.num_executors();
+        for (int e = 0; e < num_exec; ++e) {
+          if (cl.executor_alive(e) ||
+              owned[static_cast<std::size_t>(e)].empty()) {
+            continue;
+          }
+          std::vector<int> lost =
+              std::move(owned[static_cast<std::size_t>(e)]);
+          owned[static_cast<std::size_t>(e)].clear();
+          per_exec[static_cast<std::size_t>(e)].reset();
+          obs::TraceSink::Scope refold_scope(
+              tr,
+              tr.begin("recover", "recover.refold", obs::kDriverPid, 0,
+                       {{"job", job},
+                        {"executor", e},
+                        {"partitions",
+                         static_cast<std::int64_t>(lost.size())}}));
+          for (int pid : lost) {
+            bool placed = false;
+            for (int attempt = 0; !placed; ++attempt) {
+              // Target: health-usable AND alive, re-picked per attempt —
+              // a dead-but-undetected executor would burn the whole retry
+              // budget before the monitor even declares it dead.
+              int target = -1;
+              const int pref = rdd.preferred_executor(pid);
+              for (int i = 0; i < num_exec; ++i) {
+                const int cand = (pref + i) % num_exec;
+                if (cl.executor_usable(cand) && cl.executor_alive(cand)) {
+                  target = cand;
+                  break;
+                }
+              }
+              if (target < 0) break;  // nowhere to place it right now.
+              try {
+                int ran_on = -1;
+                U agg = co_await compute_attempt(
+                    cl, rdd, spec.base, TaskId{job, 1, pid, attempt},
+                    &ran_on, target);
+                auto& dst = per_exec[static_cast<std::size_t>(ran_on)];
+                if (!dst) dst = std::make_shared<U>(spec.base.zero);
+                co_await cl.simulator().sleep(
+                    cl.merge_cost(spec.base.bytes(agg)));
+                spec.base.comb_op(*dst, agg);
+                owned[static_cast<std::size_t>(ran_on)].push_back(pid);
+                placed = true;
+              } catch (const TaskFailed&) {
+                cl.health().record_failure(target);
+                if (m) ++m->task_retries;
+                if (attempt + 1 >= cl.config().max_task_attempts) {
+                  throw std::runtime_error(
+                      "task exceeded max attempts; job aborted");
+                }
+              }
+            }
+            if (!placed) {
+              // Hand the partition back for the next boundary's residual
+              // refold; ownership moved here and moves back exactly once.
+              owned[static_cast<std::size_t>(e)].push_back(pid);
+            }
+          }
+        }
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      wg.done();
+    }
+  };
+
+  cl.simulator().spawn(
+      Settle::go(cl, job, ring_attempt, backoff, wg, error));
+  cl.simulator().spawn(EagerRefold::go(cl, rdd, spec, job, m, per_exec,
+                                       owned, wg, error));
+  co_await wg.wait();
+  overlap.close();
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace detail
 
 /// Spark's treeAggregate (optionally with IMM in the compute stage,
@@ -863,6 +1164,9 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   // losing speculative attempts never outlive the state they reference.
   sim::WaitGroup spec_attempts(cl.simulator());
 
+  // Job boundary: admit arrived joiners (warm-up transfer) and complete
+  // pending drains — a tree job holds no ring state to migrate.
+  co_await cl.sync_membership(/*complete_drains=*/true);
   const bool imm = cl.config().agg_mode != AggMode::kTree;
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
   std::vector<detail::Blob<U>> blobs;
@@ -969,6 +1273,10 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
                    {{"job", job}}));
   sim::WaitGroup spec_attempts(cl.simulator());
 
+  // Job boundary: admit arrived joiners before stage 1 so they can take
+  // compute tasks; no partials exist yet, so pending drains just complete.
+  co_await cl.sync_membership(/*complete_drains=*/true);
+
   // Stage 1: reduced-result stage; exactly one aggregator per executor.
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
   std::vector<int> task_exec;
@@ -1052,6 +1360,10 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     }
   };
 
+  // The concrete algorithm the previous attempt ran: ring re-formation
+  // keeps it (hysteresis in comm::retune_algo) unless the tuner's pick for
+  // the new ring size is decisively better. kAuto = no prior attempt.
+  comm::AlgoId prev_algo = comm::AlgoId::kAuto;
   for (int ring_attempt = 1;; ++ring_attempt) {
     m->ring_stage_attempts = ring_attempt;
     const Time attempt_start = cl.simulator().now();
@@ -1063,56 +1375,26 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
     comm::AlgoId algo = cl.config().collective_algo;
     // The attempt span opens at attempt_start and, on failure, closes at
     // the instant the collective failure surfaces — making the failed span
-    // plus the detect.settle and recover.backoff spans below exactly the
-    // contiguous interval recovery_time accrues (obs::recovery_from_trace
-    // reconstructs it from these three).
+    // plus the recovery spans that follow (detect.settle + recover.backoff,
+    // or their recover.overlap wrapper) exactly the contiguous interval
+    // recovery_time accrues (obs::recovery_from_trace reconstructs it).
     obs::TraceSink::Scope attempt_scope(
         tr, tr.begin("stage", "stage.ring", obs::kDriverPid, 0,
                      {{"job", job}, {"attempt", ring_attempt}}));
     try {
       co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-      // Fix the ring membership FIRST: the communicator spans the executors
-      // alive at this instant. Partials held by anyone outside that rank set
-      // (dead, or killed during the scheduler delay above) are then refolded
-      // against the same snapshot — checking liveness before the rebuild
-      // would let a kill in between slip an executor's partial out of the
-      // ring without recovery.
-      auto& sc = cl.scalable_comm();
-      // Recompute partials that died with their executor, folding them into
-      // survivors' shared values (partition data regenerates
-      // deterministically, exactly like a Spark recompute).
-      for (int e = 0; e < num_exec; ++e) {
-        if (cl.rank_of_executor(e) >= 0 ||
-            owned[static_cast<std::size_t>(e)].empty()) {
-          continue;
-        }
-        const std::vector<int> lost =
-            std::move(owned[static_cast<std::size_t>(e)]);
-        owned[static_cast<std::size_t>(e)].clear();
-        per_exec[static_cast<std::size_t>(e)].reset();
-        obs::TraceSink::Scope refold_scope(
-            tr, tr.begin("recover", "recover.refold", obs::kDriverPid, 0,
-                         {{"job", job},
-                          {"executor", e},
-                          {"partitions",
-                           static_cast<std::int64_t>(lost.size())}}));
-        for (int pid : lost) {
-          int ran_on = -1;
-          U agg = co_await detail::compute_with_retry(
-              cl, rdd, spec.base, job, pid, m, /*stage=*/1, &ran_on);
-          auto& dst = per_exec[static_cast<std::size_t>(ran_on)];
-          if (!dst) dst = std::make_shared<U>(spec.base.zero);
-          co_await cl.simulator().sleep(
-              cl.merge_cost(spec.base.bytes(agg)));
-          spec.base.comb_op(*dst, agg);
-          owned[static_cast<std::size_t>(ran_on)].push_back(pid);
-        }
-      }
-      const int n = sc.size();
-      algo = comm::resolve_algo(
+      // Stage boundary: membership sync, drained-partial migration, ring
+      // (re)formation and residual refold, all against one rank snapshot
+      // (see ring_boundary for why the ordering is load-bearing).
+      const detail::RingSnapshot ring = co_await detail::ring_boundary(
+          cl, rdd, spec, job, m, per_exec, owned);
+      const int n = ring.n;
+      algo = comm::retune_algo(
           comm::CollectiveOp::kReduceScatter, cl.config().collective_algo,
+          prev_algo,
           cl.collective_cost_inputs(detail::aggregator_bytes(spec, per_exec),
                                     n));
+      prev_algo = algo;
       cl.metrics().add(std::string("agg.collective.") + comm::to_string(algo),
                        1);
       std::vector<std::pair<int, V>> all_segs;
@@ -1121,11 +1403,11 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       sim::WaitGroup wg(cl.simulator());
       wg.add(n);
       for (int r = 0; r < n; ++r) {
-        const int e = cl.executor_of_rank(r);
+        const int e = ring.rank_exec[static_cast<std::size_t>(r)];
         auto localv = per_exec[static_cast<std::size_t>(e)];
         // Executors that received no partition contribute a zero aggregator.
         if (!localv) localv = std::make_shared<U>(spec.base.zero);
-        cl.simulator().spawn(RingTask::go(cl, job, sc, algo, e, r, spec,
+        cl.simulator().spawn(RingTask::go(cl, job, *ring.sc, algo, e, r, spec,
                                           std::move(localv), all_segs,
                                           total_v_bytes, wg, error));
       }
@@ -1163,26 +1445,11 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         throw std::runtime_error(
             "ring stage exceeded max attempts; job aborted");
       }
-      // With heartbeats on, the driver cannot yet tell which member is dead
-      // — rebuilding immediately would re-include it and fail again. Wait
-      // out detection (bounded by executor_timeout); the wait lands in
-      // recovery_time, which is exactly what makes detection latency a
-      // measurable recovery component.
-      const obs::SpanId detect =
-          tr.begin("detect", "detect.settle", obs::kDriverPid, 0,
-                   {{"job", job}, {"attempt", ring_attempt}});
-      co_await cl.health().await_settled();
-      tr.end(detect);
-      // Exponential backoff before re-running the stage.
-      const Duration backoff = cl.config().stage_retry_backoff
-                               << (ring_attempt - 1);
-      const obs::SpanId pause =
-          tr.begin("recover", "recover.backoff", obs::kDriverPid, 0,
-                   {{"job", job},
-                    {"attempt", ring_attempt},
-                    {"backoff_ns", static_cast<std::int64_t>(backoff)}});
-      co_await cl.simulator().sleep(backoff);
-      tr.end(pause);
+      // Settle-then-backoff — overlapped with eager refold of partials
+      // lost with dead executors when overlap_recovery is on.
+      co_await detail::recover_between_attempts(cl, rdd, spec, job,
+                                                ring_attempt, m, per_exec,
+                                                owned);
       m->recovery_time += cl.simulator().now() - attempt_start;
     }
   }
@@ -1220,6 +1487,9 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
                    {{"job", job}}));
   sim::WaitGroup spec_attempts(cl.simulator());
 
+  // Job boundary: admit arrived joiners and complete pending drains (same
+  // contract as split_aggregate).
+  co_await cl.sync_membership(/*complete_drains=*/true);
   co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
   std::vector<int> task_exec;
   auto blobs = co_await detail::compute_stage_imm(cl, rdd, spec.base, job, m,
@@ -1292,54 +1562,33 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
     }
   };
 
+  // Previous attempt's concrete algorithm (hysteresis on re-formation).
+  comm::AlgoId prev_algo = comm::AlgoId::kAuto;
   for (int ring_attempt = 1;; ++ring_attempt) {
     m->ring_stage_attempts = ring_attempt;
     const Time attempt_start = cl.simulator().now();
     bool attempt_failed = false;
     // Resolved per attempt from the live membership (see split_aggregate).
     comm::AlgoId algo = cl.config().collective_algo;
-    // Same failed-span / detect / backoff contiguity contract as the ring
+    // Same failed-span / recovery-span contiguity contract as the ring
     // stage of split_aggregate (obs::recovery_from_trace relies on it).
     obs::TraceSink::Scope attempt_scope(
         tr, tr.begin("stage", "stage.allreduce", obs::kDriverPid, 0,
                      {{"job", job}, {"attempt", ring_attempt}}));
     try {
       co_await cl.simulator().sleep(cl.spec().rates.scheduler_delay);
-      // Membership first, then refold against the same snapshot (see
-      // split_aggregate for why this order is load-bearing).
-      auto& sc = cl.scalable_comm();
-      for (int e = 0; e < num_exec; ++e) {
-        if (cl.rank_of_executor(e) >= 0 ||
-            owned[static_cast<std::size_t>(e)].empty()) {
-          continue;
-        }
-        const std::vector<int> lost =
-            std::move(owned[static_cast<std::size_t>(e)]);
-        owned[static_cast<std::size_t>(e)].clear();
-        per_exec[static_cast<std::size_t>(e)].reset();
-        obs::TraceSink::Scope refold_scope(
-            tr, tr.begin("recover", "recover.refold", obs::kDriverPid, 0,
-                         {{"job", job},
-                          {"executor", e},
-                          {"partitions",
-                           static_cast<std::int64_t>(lost.size())}}));
-        for (int pid : lost) {
-          int ran_on = -1;
-          U agg = co_await detail::compute_with_retry(
-              cl, rdd, spec.base, job, pid, m, /*stage=*/1, &ran_on);
-          auto& dst = per_exec[static_cast<std::size_t>(ran_on)];
-          if (!dst) dst = std::make_shared<U>(spec.base.zero);
-          co_await cl.simulator().sleep(
-              cl.merge_cost(spec.base.bytes(agg)));
-          spec.base.comb_op(*dst, agg);
-          owned[static_cast<std::size_t>(ran_on)].push_back(pid);
-        }
-      }
-      const int n = sc.size();
-      algo = comm::resolve_algo(
+      // Shared stage boundary: membership sync, drained-partial migration,
+      // ring (re)formation, residual refold — one rank snapshot throughout
+      // (see split_aggregate / ring_boundary for why).
+      const detail::RingSnapshot ring = co_await detail::ring_boundary(
+          cl, rdd, spec, job, m, per_exec, owned);
+      const int n = ring.n;
+      algo = comm::retune_algo(
           comm::CollectiveOp::kAllreduce, cl.config().collective_algo,
+          prev_algo,
           cl.collective_cost_inputs(detail::aggregator_bytes(spec, per_exec),
                                     n));
+      prev_algo = algo;
       cl.metrics().add(std::string("agg.collective.") + comm::to_string(algo),
                        1);
       std::shared_ptr<V> result;  // fresh per attempt: rank 0 sets it.
@@ -1347,10 +1596,10 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
       sim::WaitGroup wg(cl.simulator());
       wg.add(n);
       for (int r = 0; r < n; ++r) {
-        const int e = cl.executor_of_rank(r);
+        const int e = ring.rank_exec[static_cast<std::size_t>(r)];
         auto localv = per_exec[static_cast<std::size_t>(e)];
         if (!localv) localv = std::make_shared<U>(spec.base.zero);
-        cl.simulator().spawn(AllreduceTask::go(cl, sc, algo, e, r, spec,
+        cl.simulator().spawn(AllreduceTask::go(cl, *ring.sc, algo, e, r, spec,
                                                std::move(localv), result,
                                                result_key, wg, error));
       }
@@ -1378,20 +1627,11 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         throw std::runtime_error(
             "allreduce stage exceeded max attempts; job aborted");
       }
-      const obs::SpanId detect =
-          tr.begin("detect", "detect.settle", obs::kDriverPid, 0,
-                   {{"job", job}, {"attempt", ring_attempt}});
-      co_await cl.health().await_settled();
-      tr.end(detect);
-      const Duration backoff = cl.config().stage_retry_backoff
-                               << (ring_attempt - 1);
-      const obs::SpanId pause =
-          tr.begin("recover", "recover.backoff", obs::kDriverPid, 0,
-                   {{"job", job},
-                    {"attempt", ring_attempt},
-                    {"backoff_ns", static_cast<std::int64_t>(backoff)}});
-      co_await cl.simulator().sleep(backoff);
-      tr.end(pause);
+      // Same shared overlap path as split_aggregate: settle + backoff, with
+      // eager refold running underneath when overlap_recovery is on.
+      co_await detail::recover_between_attempts(cl, rdd, spec, job,
+                                                ring_attempt, m, per_exec,
+                                                owned);
       m->recovery_time += cl.simulator().now() - attempt_start;
     }
   }

@@ -26,6 +26,15 @@ sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
                                 std::int64_t store_key = -1) {
   auto& sc = cl.scalable_comm();
   const int n = sc.size();
+  obs::TraceSink& tr = cl.trace();
+  obs::TraceSink::Scope bcast_scope(
+      tr, tr.begin("bcast", "bcast.value", obs::kDriverPid, 0,
+                   {{"bytes", static_cast<std::int64_t>(bytes)},
+                    {"executors", n},
+                    {"key", store_key}}));
+  // Remember what was shipped so a mid-campaign joiner can be warmed up
+  // with the same resident state (Cluster::sync_membership).
+  cl.note_broadcast(store_key, value, bytes);
   // Seed: driver ships the blob to the executor at ring rank 0.
   const int seed_exec = cl.executor_of_rank(0);
   co_await cl.fetch_blob(Cluster::kDriver, seed_exec, bytes);

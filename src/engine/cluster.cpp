@@ -39,7 +39,14 @@ Cluster::Cluster(sim::Simulator& sim, net::ClusterSpec spec, EngineConfig cfg)
       sim, fabric_->faults(), num_executors(), cfg_.health,
       [this](int e) { return control_latency(e); }, &driver_loop_,
       trace_.get(), &metrics_);
+  membership_ = std::make_unique<MembershipManager>(
+      sim, cfg_.membership, num_executors(), fabric_->faults(), trace_.get(),
+      &metrics_);
+  // Heartbeats are only expected from actual members: a pre-join or
+  // departed executor must not be declared dead for its (correct) silence.
+  health_->set_member_filter([this](int e) { return membership_->member(e); });
   if (!cfg_.fault_schedule.empty()) arm_faults();
+  if (!cfg_.membership.empty()) arm_membership();
 }
 
 Cluster::~Cluster() {
@@ -71,12 +78,84 @@ void Cluster::arm_faults() {
   }
 }
 
+void Cluster::arm_membership() {
+  net::FaultFabric& faults = fabric_->faults();
+  faults.set_membership_listener(
+      [this](Time t, int e, net::FaultFabric::MembershipEventKind k) {
+        membership_->on_fabric_event(t, e, k);
+      });
+  for (const MembershipEvent& e : cfg_.membership.events) {
+    if (e.kind == MembershipEvent::Kind::kJoin) {
+      faults.declare_pending_join(e.executor);
+      faults.join_node_at(e.at, e.executor);
+    } else {
+      faults.decommission_node_at(e.at, e.executor);
+    }
+  }
+}
+
 std::vector<int> Cluster::ring_members() {
   // The health view, not the omniscient fabric: a dead-but-undetected
   // executor stays in the ring (and fails it again) until the heartbeat
   // monitor declares it dead; a quarantined executor is excluded exactly
-  // like a dead one, and readmitted when the quarantine lapses.
-  return health_->usable_executors();
+  // like a dead one, and readmitted when the quarantine lapses. Membership
+  // filters on top: only kActive executors hold ranks.
+  std::vector<int> out;
+  for (int e : health_->usable_executors()) {
+    if (membership_->ring_eligible(e)) out.push_back(e);
+  }
+  return out;
+}
+
+sim::Task<void> Cluster::sync_membership(bool complete_drains) {
+  if (complete_drains) {
+    for (int e = 0; e < num_executors(); ++e) {
+      // A stage boundary with no partials owed to this executor: the drain
+      // is trivially complete and the executor leaves.
+      if (membership_->draining(e)) membership_->complete_drain(e);
+    }
+  }
+  for (int e : membership_->admittable_joiners()) {
+    membership_->begin_warmup(e);
+    const std::uint64_t bytes = resident_broadcast_bytes();
+    const obs::SpanId span = trace_->begin(
+        "membership", "membership.warmup", obs::exec_pid(e), 0,
+        {{"executor", e}, {"bytes", static_cast<std::int64_t>(bytes)}});
+    if (bytes > 0) co_await fetch_blob(kDriver, e, bytes);
+    // Keyed broadcasts are mutable-object-backed replicas; the joiner gets
+    // its copy so tasks landing on it find the same resident state.
+    for (const auto& [key, entry] : bcast_keyed_) {
+      executor(e).mutable_object(key, *sim_).value = entry.value;
+    }
+    trace_->end(span);
+    membership_->complete_warmup(e);
+    health_->start_monitoring(e);
+  }
+}
+
+int Cluster::ring_successor(int exec_id) {
+  const auto infos =
+      comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
+  std::vector<comm::ExecutorInfo> members;
+  comm::ExecutorInfo leaving;
+  for (const auto& info : infos) {
+    if (info.executor_id == exec_id) {
+      leaving = info;
+    } else if (executor_usable(info.executor_id) &&
+               executor_alive(info.executor_id)) {
+      members.push_back(info);
+    }
+  }
+  return comm::ring_successor_executor(members, leaving, cfg_.topology_aware);
+}
+
+void Cluster::note_broadcast(std::int64_t key, std::shared_ptr<void> value,
+                             std::uint64_t bytes) {
+  if (key >= 0) {
+    bcast_keyed_[key] = BroadcastEntry{std::move(value), bytes};
+  } else {
+    bcast_latest_bytes_ = bytes;
+  }
 }
 
 void Cluster::invalidate_scalable_comm() {
@@ -170,6 +249,10 @@ void Cluster::rebuild_comm() {
   sc_parallelism_ = cfg_.sai_parallelism;
   sc_topology_aware_ = cfg_.topology_aware;
   sc_members_ = ring_members();
+  trace_->instant(
+      "membership", "membership.ring_formed", obs::kDriverPid, 0,
+      {{"epoch", membership_->epoch()},
+       {"size", static_cast<std::int64_t>(rank_to_exec_.size())}});
 }
 
 comm::Communicator& Cluster::scalable_comm() {

@@ -11,6 +11,7 @@
 #include "comm/topology.hpp"
 #include "engine/config.hpp"
 #include "engine/health.hpp"
+#include "engine/membership.hpp"
 #include "net/cluster.hpp"
 #include "net/connection.hpp"
 #include "net/fabric.hpp"
@@ -144,8 +145,46 @@ class Cluster {
   /// detection latency is a real component of recovery time.
   HealthMonitor& health() noexcept { return *health_; }
 
-  /// May this executor be scheduled onto / join the next ring?
-  bool executor_usable(int exec_id) { return health_->usable(exec_id); }
+  /// May this executor be scheduled onto / join the next ring? Requires
+  /// both a healthy view (not believed dead, not quarantined) and full
+  /// membership (not pre-join, not draining, not departed).
+  bool executor_usable(int exec_id) {
+    return health_->usable(exec_id) && membership_->schedulable(exec_id);
+  }
+
+  // ---- elastic membership --------------------------------------------------
+
+  /// The membership state machine (joining/warming/active/draining/left).
+  /// Always constructed; with an empty MembershipSchedule every executor is
+  /// active and membership never changes.
+  MembershipManager& membership() noexcept { return *membership_; }
+
+  /// Stage-boundary membership sync: admits arrived joiners (warm-up
+  /// transfer of resident broadcast state, then health monitoring starts)
+  /// and — when `complete_drains` — lets draining executors leave (callers
+  /// holding partials for a draining executor pass false and complete the
+  /// drain themselves after migrating the partials). No-op, with zero
+  /// simulated-time cost, when there is no membership work pending.
+  sim::Task<void> sync_membership(bool complete_drains);
+
+  /// Executor id of the member that will follow `exec_id` in the *next*
+  /// ring formation (the migration target for its partials), or -1 if no
+  /// other member exists.
+  int ring_successor(int exec_id);
+
+  /// Records broadcast state resident on the executors so join warm-up can
+  /// size (and for keyed broadcasts, replicate) the transfer. `key >= 0`
+  /// entries are mutable-object-backed replicas; `key < 0` tracks the
+  /// latest anonymous broadcast (the current model) by size only.
+  void note_broadcast(std::int64_t key, std::shared_ptr<void> value,
+                      std::uint64_t bytes);
+
+  /// Total bytes a joiner must fetch during warm-up.
+  std::uint64_t resident_broadcast_bytes() const {
+    std::uint64_t total = bcast_latest_bytes_;
+    for (const auto& [k, e] : bcast_keyed_) total += e.bytes;
+    return total;
+  }
 
   /// Forces the next scalable_comm() call to rebuild over the surviving
   /// topology. The old communicator is parked, not destroyed: its pump
@@ -247,6 +286,7 @@ class Cluster {
   DemuxConn& demux(int from, int to);
   void rebuild_comm();
   void arm_faults();
+  void arm_membership();
   std::vector<int> ring_members();
 
   sim::Simulator* sim_;
@@ -258,6 +298,13 @@ class Cluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Executor>> executors_;
   std::unique_ptr<HealthMonitor> health_;
+  std::unique_ptr<MembershipManager> membership_;
+  struct BroadcastEntry {
+    std::shared_ptr<void> value;
+    std::uint64_t bytes = 0;
+  };
+  std::unordered_map<std::int64_t, BroadcastEntry> bcast_keyed_;
+  std::uint64_t bcast_latest_bytes_ = 0;
   sim::FifoServer driver_loop_;
   Duration rpc_overhead_ = sim::microseconds(150);
   std::unordered_map<std::int64_t, std::unique_ptr<DemuxConn>> demux_;

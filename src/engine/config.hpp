@@ -103,6 +103,41 @@ struct FaultSchedule {
   }
 };
 
+/// One scheduled membership event. Unlike FaultEvents these are
+/// *cooperative*: a new executor announces itself and is admitted at the
+/// next stage boundary (after warm-up state transfer), or a running
+/// executor is asked to decommission — it finishes in-flight work, hands
+/// its partials to its ring successor, and leaves.
+struct MembershipEvent {
+  enum class Kind {
+    kJoin,          ///< executor `executor` comes up at `at`.
+    kDecommission,  ///< executor `executor` starts draining at `at`.
+  };
+  Kind kind = Kind::kJoin;
+  sim::Time at = 0;
+  int executor = 0;
+};
+
+/// A reproducible membership-churn schedule, armed onto the FaultFabric at
+/// cluster construction like FaultSchedule. Executors named in a join event
+/// start *outside* the cluster (not schedulable, not in the ring, not
+/// health-monitored) until the event fires and they are admitted at a stage
+/// boundary.
+struct MembershipSchedule {
+  std::vector<MembershipEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  MembershipSchedule& join(sim::Time at, int executor) {
+    events.push_back({MembershipEvent::Kind::kJoin, at, executor});
+    return *this;
+  }
+  MembershipSchedule& decommission(sim::Time at, int executor) {
+    events.push_back({MembershipEvent::Kind::kDecommission, at, executor});
+    return *this;
+  }
+};
+
 /// Health-aware scheduling knobs: heartbeat failure detection, speculative
 /// execution, and executor quarantine (blacklisting). All three default off,
 /// mirroring Spark (`spark.speculation` and blacklisting are opt-in, and the
@@ -188,8 +223,14 @@ struct EngineConfig {
   sim::Duration collective_timeout = sim::seconds(30);
   /// Base pause before re-running a failed ring stage; doubles per attempt.
   sim::Duration stage_retry_backoff = sim::milliseconds(50);
+  /// Overlapped recovery: refold lost partials concurrently with the
+  /// post-failure heartbeat settle instead of sequentially after it. Only
+  /// changes *when* recovery work happens (results are bit-identical); the
+  /// overlap is attributed via the `recover.overlap` trace span.
+  bool overlap_recovery = true;
   FaultPlan faults{};
   FaultSchedule fault_schedule{};
+  MembershipSchedule membership{};
   StragglerPlan stragglers{};
   HealthConfig health{};
   TraceConfig trace{};

@@ -132,6 +132,28 @@ class HealthMonitor {
     return static_cast<int>(execs_.size());
   }
 
+  /// Restricts monitoring to current cluster members. Executors for which
+  /// `f` returns false are skipped by the heartbeat chains, the monitor
+  /// tick, and await_settled — a pre-join or drained executor must not be
+  /// declared dead merely because it (correctly) sends no heartbeats.
+  void set_member_filter(std::function<bool(int)> f) {
+    member_filter_ = std::move(f);
+  }
+
+  /// Admits executor e into monitoring mid-job (a joiner finishing warm-up):
+  /// resets its heartbeat clock and, if heartbeats are on and a job is
+  /// active, starts its heartbeat chain.
+  void start_monitoring(int e) {
+    ExecState& st = execs_.at(static_cast<std::size_t>(e));
+    st.last_hb = sim_->now();
+    if (st.status != Status::kDead && faults_->node_alive(e)) {
+      st.status = Status::kHealthy;
+    }
+    if (cfg_->heartbeats && active_jobs_ > 0 && faults_->node_alive(e)) {
+      arm_heartbeat(e, sim_->now() + cfg_->heartbeat_interval);
+    }
+  }
+
   // ---- quarantine ledger ---------------------------------------------------
 
   /// A task attempt failed on executor e (injected fault or lost result).
@@ -167,7 +189,7 @@ class HealthMonitor {
     const Time now = sim_->now();
     for (int e = 0; e < num_executors(); ++e) {
       ExecState& st = execs_[static_cast<std::size_t>(e)];
-      if (st.status == Status::kDead) continue;
+      if (st.status == Status::kDead || !is_member(e)) continue;
       st.last_hb = now;  // grace period: nobody is stale at job start.
       if (st.status == Status::kSuspect) st.status = Status::kHealthy;
       if (faults_->node_alive(e)) {
@@ -195,7 +217,10 @@ class HealthMonitor {
       const Time now = sim_->now();
       for (int e = 0; e < num_executors(); ++e) {
         ExecState& st = execs_[static_cast<std::size_t>(e)];
-        if (st.status == Status::kDead || quarantined_now(st)) continue;
+        if (st.status == Status::kDead || quarantined_now(st) ||
+            !is_member(e)) {
+          continue;
+        }
         if (now - st.last_hb > cfg_->heartbeat_timeout) {
           unsettled = true;
           break;
@@ -220,6 +245,10 @@ class HealthMonitor {
 
   bool quarantined_now(const ExecState& st) const {
     return st.in_quarantine && sim_->now() < st.quarantine_until;
+  }
+
+  bool is_member(int e) const {
+    return !member_filter_ || member_filter_(e);
   }
 
   void maybe_lapse(int e, ExecState& st) {
@@ -294,7 +323,7 @@ class HealthMonitor {
           const Time now = sim_->now();
           for (int e = 0; e < num_executors(); ++e) {
             ExecState& st = execs_[static_cast<std::size_t>(e)];
-            if (st.status == Status::kDead) continue;
+            if (st.status == Status::kDead || !is_member(e)) continue;
             const Duration age = now - st.last_hb;
             if (age > cfg_->executor_timeout) {
               st.status = Status::kDead;
@@ -338,6 +367,7 @@ class HealthMonitor {
   net::FaultFabric* faults_;
   const HealthConfig* cfg_;
   std::function<Duration(int)> hb_latency_;
+  std::function<bool(int)> member_filter_;
   sim::FifoServer* driver_loop_;
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

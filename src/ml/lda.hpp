@@ -149,6 +149,10 @@ inline sim::Task<LdaResult> train_lda(engine::Cluster& cl,
     sim::Time t0 = sim.now();
     co_await broadcast_blob(
         cl, static_cast<std::uint64_t>(modeled_cells * sizeof(double)));
+    // Broadcast share of the non_agg bucket (see train_linear).
+    cl.trace().span_at("phase", "broadcast", obs::kDriverPid, 0, t0, sim.now(),
+                       {{"iter", iter}});
+    result.breakdown.broadcast += sim.now() - t0;
     cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0, sim.now(),
                        {{"iter", iter}});
     result.breakdown.non_agg += sim.now() - t0;

@@ -57,6 +57,10 @@ struct TimeBreakdown {
   sim::Duration non_agg = 0;      ///< broadcast & other scalable non-agg.
   sim::Duration agg_compute = 0;  ///< first stage of each aggregation.
   sim::Duration agg_reduce = 0;   ///< subsequent stages of each aggregation.
+  /// Model-shipping share of `non_agg` (already counted there — total()
+  /// must not add it again). Split out so fig02 can show how much of the
+  /// non-agg bucket is broadcast.
+  sim::Duration broadcast = 0;
 
   sim::Duration total() const {
     return driver + non_agg + agg_compute + agg_reduce;
@@ -135,6 +139,11 @@ inline sim::Task<TrainResult> train_linear(
     if (!allreduce_mode || iter == 1) {
       co_await broadcast_blob(
           cl, static_cast<std::uint64_t>(modeled_dim) * sizeof(double));
+      // Nested under the non_agg phase span: the broadcast share of the
+      // bucket, so fig02 can split it out without changing non_agg itself.
+      cl.trace().span_at("phase", "broadcast", obs::kDriverPid, 0, t0,
+                         sim.now(), {{"iter", iter}});
+      result.breakdown.broadcast += sim.now() - t0;
     }
     cl.trace().span_at("phase", "non_agg", obs::kDriverPid, 0, t0, sim.now(),
                        {{"iter", iter}});

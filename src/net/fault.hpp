@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -77,6 +78,46 @@ class FaultFabric {
   Time node_death_time(int node) const {
     auto it = death_times_.find(node);
     return it == death_times_.end() ? kNever : it->second;
+  }
+
+  // ---- membership events (planned join / decommission) --------------------
+  // Unlike faults, these are *cooperative*: the node announces its arrival
+  // or departure through the control plane. The fabric only records the
+  // physical side — whether a pending joiner's process has actually come up —
+  // and forwards the event to a listener (the engine's MembershipManager).
+
+  enum class MembershipEventKind { kJoin, kDecommission };
+  using MembershipListener = std::function<void(Time, int, MembershipEventKind)>;
+
+  /// At most one listener; installing replaces the previous one.
+  void set_membership_listener(MembershipListener cb) {
+    membership_listener_ = std::move(cb);
+  }
+
+  /// Declares that `node` starts *outside* the cluster: its process has not
+  /// launched yet, so node_joined() is false until a join event fires.
+  void declare_pending_join(int node) { pending_join_.insert(node); }
+
+  /// True once a node's process is up (never declared pending, or its join
+  /// event has fired). Dead nodes stay "joined" — death is a separate axis.
+  bool node_joined(int node) const { return pending_join_.count(node) == 0; }
+
+  void join_node_at(Time t, int node) {
+    sim_->call_at(t, [this, node] {
+      pending_join_.erase(node);
+      if (membership_listener_) {
+        membership_listener_(sim_->now(), node, MembershipEventKind::kJoin);
+      }
+    });
+  }
+
+  void decommission_node_at(Time t, int node) {
+    sim_->call_at(t, [this, node] {
+      if (membership_listener_) {
+        membership_listener_(sim_->now(), node,
+                             MembershipEventKind::kDecommission);
+      }
+    });
   }
 
   // ---- node-to-node channel faults (consulted by comm::Communicator) ------
@@ -184,6 +225,7 @@ class FaultFabric {
     dead_hosts_.clear();
     channels_.clear();
     hosts_.clear();
+    pending_join_.clear();
   }
 
  private:
@@ -229,6 +271,8 @@ class FaultFabric {
   std::unordered_set<int> dead_nodes_;
   std::unordered_map<int, Time> death_times_;
   std::unordered_set<int> dead_hosts_;
+  std::unordered_set<int> pending_join_;  ///< declared but not yet arrived.
+  MembershipListener membership_listener_;
   FaultMap channels_;  ///< keyed by (src node, dst node, channel).
   FaultMap hosts_;     ///< keyed by (src host, dst host).
 };

@@ -437,6 +437,8 @@ PhaseBreakdown phase_breakdown(const TraceSink& sink) {
       b.agg_compute += d;
     } else if (std::strcmp(ev.name, "agg_reduce") == 0) {
       b.agg_reduce += d;
+    } else if (std::strcmp(ev.name, "broadcast") == 0) {
+      b.broadcast += d;  // nested inside non_agg; informational only
     }
   }
   return b;
@@ -498,6 +500,24 @@ std::string format_detail_report(const DetailReport& report) {
 }
 
 sim::Duration recovery_from_trace(const TraceSink& sink) {
+  // Overlapped recovery wraps the settle/backoff branch in a
+  // `recover.overlap` span; its duration *is* the between-attempt recovery
+  // interval, so the detect/backoff spans inside it must not be counted
+  // again. Collect the wrapper intervals first, then skip contained spans.
+  std::vector<std::pair<sim::Time, sim::Time>> overlaps;
+  for (const TraceEvent& ev : sink.events()) {
+    if (ev.kind != EventKind::kSpan || ev.is_open_span()) continue;
+    if (std::strcmp(ev.cat, "recover") == 0 &&
+        std::strcmp(ev.name, "recover.overlap") == 0) {
+      overlaps.emplace_back(ev.ts, ev.end);
+    }
+  }
+  auto contained = [&](const TraceEvent& ev) {
+    for (const auto& [lo, hi] : overlaps) {
+      if (lo <= ev.ts && ev.end <= hi) return true;
+    }
+    return false;
+  };
   sim::Duration total = 0;
   for (const TraceEvent& ev : sink.events()) {
     if (ev.kind != EventKind::kSpan || ev.is_open_span()) continue;
@@ -506,13 +526,164 @@ sim::Duration recovery_from_trace(const TraceSink& sink) {
         std::strcmp(ev.name, "stage.compute") != 0 && ev.arg("failed") == 1) {
       total += ev.duration();
     } else if (std::strcmp(ev.cat, "detect") == 0) {
-      total += ev.duration();
-    } else if (std::strcmp(ev.cat, "recover") == 0 &&
-               std::strcmp(ev.name, "recover.backoff") == 0) {
-      total += ev.duration();
+      if (!contained(ev)) total += ev.duration();
+    } else if (std::strcmp(ev.cat, "recover") == 0) {
+      if (std::strcmp(ev.name, "recover.overlap") == 0) {
+        total += ev.duration();
+      } else if (std::strcmp(ev.name, "recover.backoff") == 0 &&
+                 !contained(ev)) {
+        total += ev.duration();
+      }
     }
   }
   return total;
+}
+
+namespace {
+
+/// Total covered length of a set of [lo, hi) intervals.
+sim::Duration union_length(std::vector<std::pair<sim::Time, sim::Time>>& iv) {
+  std::sort(iv.begin(), iv.end());
+  sim::Duration total = 0;
+  sim::Time cur_lo = 0, cur_hi = 0;
+  bool open = false;
+  for (const auto& [lo, hi] : iv) {
+    if (hi <= lo) continue;
+    if (!open || lo > cur_hi) {
+      if (open) total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open) total += cur_hi - cur_lo;
+  return total;
+}
+
+}  // namespace
+
+FlameReport flame_report(const TraceSink& sink) {
+  FlameReport r;
+  const std::vector<TraceEvent>& events = sink.events();
+  if (events.empty()) return r;
+  // Observation window: the full extent of the trace, shared by every
+  // executor so the timelines are comparable.
+  bool any = false;
+  for (const TraceEvent& ev : events) {
+    if (!any) {
+      r.window_start = ev.ts;
+      any = true;
+    }
+    r.window_start = std::min(r.window_start, ev.ts);
+    sim::Time end = ev.ts;
+    if (ev.kind == EventKind::kSpan && !ev.is_open_span()) end = ev.end;
+    r.window_end = std::max(r.window_end, end);
+  }
+  // Per-executor interval sets.
+  std::map<int, std::vector<std::pair<sim::Time, sim::Time>>> busy;
+  std::map<int, std::vector<std::pair<sim::Time, sim::Time>>> blocked;
+  for (const TraceEvent& ev : events) {
+    if (ev.pid < kExecPidBase) continue;
+    const int e = ev.pid - kExecPidBase;
+    if (ev.kind == EventKind::kSpan && !ev.is_open_span()) {
+      if (ev.arg("failed", 0) == 1) {
+        // A failed attempt is time spent blocked on a dead peer.
+        blocked[e].emplace_back(ev.ts, ev.end);
+      } else {
+        busy[e].emplace_back(ev.ts, ev.end);
+      }
+    } else if (ev.kind == EventKind::kInstant &&
+               std::strcmp(ev.name, "ring.recv") == 0) {
+      // ring.recv instants mark the end of a wait of `wait_ns`.
+      const std::int64_t wait = ev.arg("wait_ns", 0);
+      if (wait > 0) {
+        const sim::Time lo =
+            ev.ts >= static_cast<sim::Time>(wait)
+                ? ev.ts - static_cast<sim::Time>(wait)
+                : 0;
+        blocked[e].emplace_back(lo, ev.ts);
+      }
+    }
+  }
+  std::set<int> execs;
+  for (const auto& [e, _] : busy) execs.insert(e);
+  for (const auto& [e, _] : blocked) execs.insert(e);
+  const sim::Duration window = r.window_end - r.window_start;
+  for (int e : execs) {
+    ExecutorTimeline tl;
+    tl.executor = e;
+    auto blk = blocked[e];
+    tl.blocked = union_length(blk);
+    // |busy \ blocked| = |busy U blocked| - |blocked|: blocked wins where
+    // a wait interval sits inside an enclosing task span.
+    auto both = busy[e];
+    auto blk2 = blocked[e];
+    both.insert(both.end(), blk2.begin(), blk2.end());
+    const sim::Duration covered = union_length(both);
+    tl.busy = covered - tl.blocked;
+    tl.idle = window - covered;
+    r.executors.push_back(tl);
+  }
+  return r;
+}
+
+std::string format_flame_report(const FlameReport& report) {
+  std::string out = "per-executor timeline (seconds over the trace window):\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %8s %10s %10s %10s %7s\n", "executor",
+                "busy", "blocked", "idle", "busy%");
+  out += buf;
+  const double window =
+      sim::to_seconds(report.window_end - report.window_start);
+  for (const ExecutorTimeline& tl : report.executors) {
+    const double busy_s = sim::to_seconds(tl.busy);
+    std::snprintf(buf, sizeof(buf), "  %8d %10.4f %10.4f %10.4f %6.1f%%\n",
+                  tl.executor, busy_s, sim::to_seconds(tl.blocked),
+                  sim::to_seconds(tl.idle),
+                  window > 0 ? 100.0 * busy_s / window : 0.0);
+    out += buf;
+  }
+  return out;
+}
+
+MembershipTimeline membership_report(const TraceSink& sink) {
+  MembershipTimeline r;
+  std::vector<sim::Time> rebuilds;
+  std::vector<sim::Time> impacting;  // admissions + decommissions
+  for (const TraceEvent& ev : sink.events()) {
+    if (std::strcmp(ev.cat, "membership") != 0) continue;
+    if (ev.kind == EventKind::kInstant) {
+      if (std::strcmp(ev.name, "membership.join") == 0) {
+        ++r.joins_announced;
+      } else if (std::strcmp(ev.name, "membership.active") == 0) {
+        ++r.joins_admitted;
+        impacting.push_back(ev.ts);
+      } else if (std::strcmp(ev.name, "membership.decommission") == 0) {
+        ++r.decommissions;
+        impacting.push_back(ev.ts);
+      } else if (std::strcmp(ev.name, "membership.left") == 0) {
+        ++r.departures;
+      } else if (std::strcmp(ev.name, "membership.ring_formed") == 0) {
+        ++r.ring_rebuilds;
+        rebuilds.push_back(ev.ts);
+      }
+    } else if (ev.kind == EventKind::kSpan &&
+               std::strcmp(ev.name, "membership.migrate") == 0) {
+      ++r.migrations;
+    }
+  }
+  std::sort(rebuilds.begin(), rebuilds.end());
+  for (sim::Time t : impacting) {
+    auto it = std::lower_bound(rebuilds.begin(), rebuilds.end(), t);
+    if (it == rebuilds.end()) continue;  // never re-stabilized in-trace
+    const sim::Duration gap = *it - t;
+    ++r.stabilized_events;
+    r.total_time_to_stable += gap;
+    r.max_time_to_stable = std::max(r.max_time_to_stable, gap);
+  }
+  return r;
 }
 
 }  // namespace sparker::obs

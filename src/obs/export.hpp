@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "sim/types.hpp"
@@ -73,6 +74,10 @@ struct PhaseBreakdown {
   sim::Duration non_agg = 0;
   sim::Duration agg_compute = 0;
   sim::Duration agg_reduce = 0;
+  /// Model-shipping share of `non_agg` ("broadcast" phase spans are nested
+  /// inside the same interval as their "non_agg" span). Not part of
+  /// total(): the time is already counted in non_agg.
+  sim::Duration broadcast = 0;
   sim::Duration total() const {
     return driver + non_agg + agg_compute + agg_reduce;
   }
@@ -104,7 +109,48 @@ std::string format_detail_report(const DetailReport& report);
 
 /// Trace-derived total recovery time: failed collective-stage attempts plus
 /// detection waits plus retry backoffs. Matches AggMetrics::recovery_time
-/// exactly (those three intervals are contiguous in the retry loop).
+/// exactly (those three intervals are contiguous in the retry loop). With
+/// overlapped recovery (`EngineConfig::overlap_recovery`) the detect/backoff
+/// spans run *inside* a `recover.overlap` wrapper span; the wrapper's
+/// duration is counted instead of its contents, so the identity with
+/// AggMetrics::recovery_time holds in both modes.
 sim::Duration recovery_from_trace(const TraceSink& sink);
+
+/// Per-executor wall-clock timeline derived from the trace: `busy` is the
+/// union of the executor's closed, non-failed spans; `blocked` is time
+/// provably spent waiting on a peer (ring.recv wait intervals plus failed
+/// attempt spans), which takes precedence where the two overlap; `idle` is
+/// the remainder of the observation window. busy + blocked + idle ==
+/// window_end - window_start for every executor.
+struct ExecutorTimeline {
+  int executor = -1;
+  sim::Duration busy = 0;
+  sim::Duration blocked = 0;
+  sim::Duration idle = 0;
+};
+struct FlameReport {
+  sim::Time window_start = 0;
+  sim::Time window_end = 0;
+  std::vector<ExecutorTimeline> executors;
+};
+FlameReport flame_report(const TraceSink& sink);
+std::string format_flame_report(const FlameReport& report);
+
+/// Elastic-membership activity derived from the trace's "membership"
+/// category: event counts plus time-to-stable-ring — for each
+/// ring-impacting event (admission or decommission), the gap until the
+/// next `membership.ring_formed` instant.
+struct MembershipTimeline {
+  int joins_announced = 0;    ///< membership.join instants
+  int joins_admitted = 0;     ///< membership.active instants
+  int decommissions = 0;      ///< membership.decommission instants
+  int departures = 0;         ///< membership.left instants
+  int migrations = 0;         ///< membership.migrate spans
+  int ring_rebuilds = 0;      ///< membership.ring_formed instants
+  int stabilized_events = 0;  ///< ring-impacting events with a later rebuild
+  sim::Duration max_time_to_stable = 0;
+  sim::Duration total_time_to_stable = 0;
+};
+MembershipTimeline membership_report(const TraceSink& sink);
 
 }  // namespace sparker::obs
