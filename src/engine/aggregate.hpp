@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -95,11 +96,17 @@ struct TaskFailed {};
 /// Publishes a job's AggMetrics into the cluster's MetricsRegistry on scope
 /// exit (normal return or abort), so cluster-lifetime counters absorb the
 /// per-job fields. Declare *after* the job's AggMetrics locals: the guard
-/// reads them in its destructor.
+/// reads them in its destructor. Under `EngineConfig::per_job_metrics` it
+/// additionally publishes a `job.<id>.*` series keyed by the cluster-unique
+/// job id — so concurrent or back-to-back jobs can never collide on a
+/// metric name (the aggregate counters alone made interleaved jobs
+/// indistinguishable).
 struct JobMetricsGuard {
   Cluster* cl;
   const AggMetrics* m;
   const char* kind_counter;  ///< e.g. "agg.jobs.split".
+  int job = -1;              ///< cluster-unique job id (next_job_id()).
+  int tenant = -1;           ///< scheduler tenant, -1 for solo jobs.
 
   ~JobMetricsGuard() {
     obs::MetricsRegistry& reg = cl->metrics();
@@ -117,6 +124,19 @@ struct JobMetricsGuard {
     if (m->end > m->start) {
       reg.histogram("agg.job_duration_ns")
           .observe(static_cast<std::int64_t>(m->end - m->start));
+    }
+    if (cl->config().per_job_metrics && job >= 0) {
+      const std::string prefix = "job." + std::to_string(job) + ".";
+      reg.add(prefix + "task_retries", m->task_retries);
+      reg.add(prefix + "stage_restarts", m->stage_restarts);
+      reg.add(prefix + "ring_stage_attempts", m->ring_stage_attempts);
+      reg.add(prefix + "recovery_time_ns",
+              static_cast<std::int64_t>(m->recovery_time));
+      if (m->end > m->start) {
+        reg.add(prefix + "duration_ns",
+                static_cast<std::int64_t>(m->end - m->start));
+      }
+      if (tenant >= 0) reg.set_gauge(prefix + "tenant", tenant);
     }
   }
 };
@@ -910,7 +930,8 @@ sim::Task<RingSnapshot> ring_boundary(Cluster& cl, CachedRdd<T>& rdd,
                                       const SplitAggSpec<T, U, V>& spec,
                                       int job, AggMetrics* m,
                                       std::vector<std::shared_ptr<U>>& per_exec,
-                                      std::vector<std::vector<int>>& owned) {
+                                      std::vector<std::vector<int>>& owned,
+                                      JobRing* job_ring = nullptr) {
   obs::TraceSink& tr = cl.trace();
   co_await cl.sync_membership(/*complete_drains=*/false);
   const int num_exec = cl.num_executors();
@@ -955,14 +976,14 @@ sim::Task<RingSnapshot> ring_boundary(Cluster& cl, CachedRdd<T>& rdd,
     mig.close();
     cl.membership().complete_drain(d);
   }
-  auto& sc = cl.scalable_comm();
+  auto& sc = cl.ring_comm(job_ring);
   RingSnapshot ring;
   ring.sc = &sc;
   ring.n = sc.size();
   ring.exec_rank.assign(static_cast<std::size_t>(num_exec), -1);
   ring.rank_exec.resize(static_cast<std::size_t>(ring.n));
   for (int r = 0; r < ring.n; ++r) {
-    const int e = cl.executor_of_rank(r);
+    const int e = cl.ring_executor_of_rank(job_ring, r);
     ring.rank_exec[static_cast<std::size_t>(r)] = e;
     ring.exec_rank[static_cast<std::size_t>(e)] = r;
   }
@@ -1143,7 +1164,8 @@ sim::Task<void> recover_between_attempts(
 template <typename T, typename U>
 sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
                             const TreeAggSpec<T, U>& spec,
-                            AggMetrics* metrics = nullptr) {
+                            AggMetrics* metrics = nullptr,
+                            const JobOptions& opt = {}) {
   AggMetrics local;
   AggMetrics* m = metrics ? metrics : &local;
   const int job = cl.next_job_id();
@@ -1155,11 +1177,17 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->speculative_launches = 0;
   m->speculative_wins = 0;
   HealthJobGuard health_guard(cl.health());
-  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.tree"};
+  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.tree", job,
+                                        opt.tenant};
   obs::TraceSink& tr = cl.trace();
   obs::TraceSink::Scope job_scope(
-      tr, tr.begin("job", "job.tree_aggregate", obs::kDriverPid, 0,
-                   {{"job", job}}));
+      tr, opt.tenant >= 0
+              ? tr.begin("job", "job.tree_aggregate", obs::kDriverPid, 0,
+                         {{"job", job},
+                          {"tenant", opt.tenant},
+                          {"sched_job", opt.sched_job}})
+              : tr.begin("job", "job.tree_aggregate", obs::kDriverPid, 0,
+                         {{"job", job}}));
   // Counts every racing attempt frame; drained before this frame dies so
   // losing speculative attempts never outlive the state they reference.
   sim::WaitGroup spec_attempts(cl.simulator());
@@ -1254,7 +1282,8 @@ sim::Task<U> tree_aggregate(Cluster& cl, CachedRdd<T>& rdd,
 template <typename T, typename U, typename V>
 sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
                              const SplitAggSpec<T, U, V>& spec,
-                             AggMetrics* metrics = nullptr) {
+                             AggMetrics* metrics = nullptr,
+                             const JobOptions& opt = {}) {
   AggMetrics local;
   AggMetrics* m = metrics ? metrics : &local;
   const int job = cl.next_job_id();
@@ -1266,11 +1295,17 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
   m->speculative_launches = 0;
   m->speculative_wins = 0;
   HealthJobGuard health_guard(cl.health());
-  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.split"};
+  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.split", job,
+                                        opt.tenant};
   obs::TraceSink& tr = cl.trace();
   obs::TraceSink::Scope job_scope(
-      tr, tr.begin("job", "job.split_aggregate", obs::kDriverPid, 0,
-                   {{"job", job}}));
+      tr, opt.tenant >= 0
+              ? tr.begin("job", "job.split_aggregate", obs::kDriverPid, 0,
+                         {{"job", job},
+                          {"tenant", opt.tenant},
+                          {"sched_job", opt.sched_job}})
+              : tr.begin("job", "job.split_aggregate", obs::kDriverPid, 0,
+                         {{"job", job}}));
   sim::WaitGroup spec_attempts(cl.simulator());
 
   // Job boundary: admit arrived joiners before stage 1 so they can take
@@ -1387,7 +1422,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       // (re)formation and residual refold, all against one rank snapshot
       // (see ring_boundary for why the ordering is load-bearing).
       const detail::RingSnapshot ring = co_await detail::ring_boundary(
-          cl, rdd, spec, job, m, per_exec, owned);
+          cl, rdd, spec, job, m, per_exec, owned, opt.ring);
       const int n = ring.n;
       algo = comm::retune_algo(
           comm::CollectiveOp::kReduceScatter, cl.config().collective_algo,
@@ -1433,7 +1468,7 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
       // Stage-level cleanup: the failed attempt's communicator (with any
       // stale in-flight messages) is retired; the next attempt gets a
       // fresh one over the surviving topology.
-      cl.invalidate_scalable_comm();
+      cl.ring_invalidate(opt.ring);
       attempt_scope.close(
           {{"failed", 1}, {"algo", static_cast<std::int64_t>(algo)}});
       attempt_failed = true;
@@ -1468,7 +1503,8 @@ template <typename T, typename U, typename V>
 sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
                              const SplitAggSpec<T, U, V>& spec,
                              AggMetrics* metrics = nullptr,
-                             std::int64_t result_key = -1) {
+                             std::int64_t result_key = -1,
+                             const JobOptions& opt = {}) {
   AggMetrics local;
   AggMetrics* m = metrics ? metrics : &local;
   const int job = cl.next_job_id();
@@ -1480,11 +1516,17 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
   m->speculative_launches = 0;
   m->speculative_wins = 0;
   HealthJobGuard health_guard(cl.health());
-  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.allreduce"};
+  detail::JobMetricsGuard metrics_guard{&cl, m, "agg.jobs.allreduce", job,
+                                        opt.tenant};
   obs::TraceSink& tr = cl.trace();
   obs::TraceSink::Scope job_scope(
-      tr, tr.begin("job", "job.split_allreduce", obs::kDriverPid, 0,
-                   {{"job", job}}));
+      tr, opt.tenant >= 0
+              ? tr.begin("job", "job.split_allreduce", obs::kDriverPid, 0,
+                         {{"job", job},
+                          {"tenant", opt.tenant},
+                          {"sched_job", opt.sched_job}})
+              : tr.begin("job", "job.split_allreduce", obs::kDriverPid, 0,
+                         {{"job", job}}));
   sim::WaitGroup spec_attempts(cl.simulator());
 
   // Job boundary: admit arrived joiners and complete pending drains (same
@@ -1581,7 +1623,7 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
       // ring (re)formation, residual refold — one rank snapshot throughout
       // (see split_aggregate / ring_boundary for why).
       const detail::RingSnapshot ring = co_await detail::ring_boundary(
-          cl, rdd, spec, job, m, per_exec, owned);
+          cl, rdd, spec, job, m, per_exec, owned, opt.ring);
       const int n = ring.n;
       algo = comm::retune_algo(
           comm::CollectiveOp::kAllreduce, cl.config().collective_algo,
@@ -1615,7 +1657,7 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
       co_await spec_attempts.wait();
       co_return std::move(*result);
     } catch (const comm::CollectiveFailed&) {
-      cl.invalidate_scalable_comm();
+      cl.ring_invalidate(opt.ring);
       attempt_scope.close(
           {{"failed", 1}, {"algo", static_cast<std::int64_t>(algo)}});
       attempt_failed = true;

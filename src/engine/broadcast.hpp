@@ -19,12 +19,15 @@ namespace sparker::engine {
 /// Broadcasts `value` (modeled wire size `bytes`) from the driver to every
 /// executor. Completes when the slowest executor holds it. If
 /// `store_key >= 0` the value is stored in every executor's mutable object
-/// manager under that key.
+/// manager under that key. Scheduled jobs pass their JobOptions so the
+/// relay rides the job's private ring instead of the shared communicator.
 template <typename V>
 sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
                                 std::uint64_t bytes,
-                                std::int64_t store_key = -1) {
-  auto& sc = cl.scalable_comm();
+                                std::int64_t store_key = -1,
+                                const JobOptions& opt = {}) {
+  JobRing* const ring = opt.ring;
+  auto& sc = cl.ring_comm(ring);
   const int n = sc.size();
   obs::TraceSink& tr = cl.trace();
   obs::TraceSink::Scope bcast_scope(
@@ -36,7 +39,7 @@ sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
   // with the same resident state (Cluster::sync_membership).
   cl.note_broadcast(store_key, value, bytes);
   // Seed: driver ships the blob to the executor at ring rank 0.
-  const int seed_exec = cl.executor_of_rank(0);
+  const int seed_exec = cl.ring_executor_of_rank(ring, 0);
   co_await cl.fetch_blob(Cluster::kDriver, seed_exec, bytes);
   // Relay: block-pipelined binomial broadcast among the executors
   // (TorrentBroadcast uses 4 MB blocks; pipelining keeps every relay hop
@@ -49,7 +52,8 @@ sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
   sim::WaitGroup wg(cl.simulator());
   wg.add(n);
   struct Relay {
-    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc, int rank,
+    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc,
+                              JobRing* ring, int rank,
                               std::shared_ptr<V> value, int blocks,
                               std::uint64_t per_block, std::int64_t store_key,
                               sim::WaitGroup& wg) {
@@ -59,7 +63,7 @@ sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
                                                    value, per_block);
       }
       if (store_key >= 0) {
-        Executor& ex = cl.executor(cl.executor_of_rank(rank));
+        Executor& ex = cl.executor(cl.ring_executor_of_rank(ring, rank));
         auto& obj = ex.mutable_object(store_key, cl.simulator());
         obj.value = std::make_shared<V>(std::move(got));
       }
@@ -72,7 +76,7 @@ sim::Task<void> broadcast_value(Cluster& cl, std::shared_ptr<V> value,
     std::shared_ptr<V> seed;
     if (r == 0) seed = value;
     cl.simulator().spawn(
-        Relay::go(cl, sc, r, seed, blocks, per_block, store_key, wg));
+        Relay::go(cl, sc, ring, r, seed, blocks, per_block, store_key, wg));
   }
   co_await wg.wait();
 }

@@ -211,7 +211,7 @@ sim::Task<void> Cluster::fetch_blob(int from, int to, std::uint64_t bytes) {
   trace_->end(span);
 }
 
-void Cluster::rebuild_comm() {
+Cluster::RingBuild Cluster::build_ring() {
   const auto infos =
       comm::enumerate_executors(spec_.num_nodes, spec_.executors_per_node);
   std::vector<comm::ExecutorInfo> order;
@@ -229,30 +229,39 @@ void Cluster::rebuild_comm() {
                 return a.executor_id < b.executor_id;
               });
   }  // else: keep executor-id order (round-robin across hosts).
-  rank_to_exec_.clear();
-  exec_to_rank_.assign(executors_.size(), -1);
+  RingBuild b;
+  b.exec_to_rank.assign(executors_.size(), -1);
   std::vector<int> rank_to_host;
   for (const auto& e : order) {
-    exec_to_rank_[static_cast<std::size_t>(e.executor_id)] =
-        static_cast<int>(rank_to_exec_.size());
-    rank_to_exec_.push_back(e.executor_id);
+    b.exec_to_rank[static_cast<std::size_t>(e.executor_id)] =
+        static_cast<int>(b.rank_to_exec.size());
+    b.rank_to_exec.push_back(e.executor_id);
     rank_to_host.push_back(e.host);
   }
-  invalidate_scalable_comm();
-  sc_ = std::make_unique<comm::Communicator>(
+  b.comm = std::make_unique<comm::Communicator>(
       *fabric_, std::move(rank_to_host), spec_.sc_link, cfg_.sai_parallelism,
       spec_.cores_per_executor);
   // Fault-fabric node identity of rank r is its executor id, so kill/sever
   // schedules written in executor ids survive rank renumbering.
-  sc_->set_rank_to_node(rank_to_exec_);
-  sc_->set_recv_timeout(cfg_.collective_timeout);
-  sc_parallelism_ = cfg_.sai_parallelism;
-  sc_topology_aware_ = cfg_.topology_aware;
-  sc_members_ = ring_members();
+  b.comm->set_rank_to_node(b.rank_to_exec);
+  b.comm->set_recv_timeout(cfg_.collective_timeout);
+  b.members = ring_members();
   trace_->instant(
       "membership", "membership.ring_formed", obs::kDriverPid, 0,
       {{"epoch", membership_->epoch()},
-       {"size", static_cast<std::int64_t>(rank_to_exec_.size())}});
+       {"size", static_cast<std::int64_t>(b.rank_to_exec.size())}});
+  return b;
+}
+
+void Cluster::rebuild_comm() {
+  RingBuild b = build_ring();
+  invalidate_scalable_comm();
+  sc_ = std::move(b.comm);
+  rank_to_exec_ = std::move(b.rank_to_exec);
+  exec_to_rank_ = std::move(b.exec_to_rank);
+  sc_members_ = std::move(b.members);
+  sc_parallelism_ = cfg_.sai_parallelism;
+  sc_topology_aware_ = cfg_.topology_aware;
 }
 
 comm::Communicator& Cluster::scalable_comm() {
@@ -273,6 +282,74 @@ int Cluster::rank_of_executor(int exec_id) {
 int Cluster::executor_of_rank(int rank) {
   scalable_comm();
   return rank_to_exec_.at(static_cast<std::size_t>(rank));
+}
+
+comm::Communicator& Cluster::ring_comm(JobRing* ring) {
+  return ring ? ring->comm() : scalable_comm();
+}
+
+int Cluster::ring_rank_of_executor(JobRing* ring, int exec_id) {
+  return ring ? ring->rank_of_executor(exec_id) : rank_of_executor(exec_id);
+}
+
+int Cluster::ring_executor_of_rank(JobRing* ring, int rank) {
+  return ring ? ring->executor_of_rank(rank) : executor_of_rank(rank);
+}
+
+void Cluster::ring_invalidate(JobRing* ring) {
+  if (ring) {
+    ring->invalidate();
+  } else {
+    invalidate_scalable_comm();
+  }
+}
+
+JobRing::JobRing(Cluster& cl) : cl_(&cl) { ++cl_->active_rings_; }
+
+JobRing::~JobRing() {
+  if (sc_) {
+    retired_bytes_ += sc_->total_bytes_delivered();
+    cl_->park_retired_comm(std::move(sc_));
+  }
+  --cl_->active_rings_;
+}
+
+comm::Communicator& JobRing::comm() {
+  if (!sc_ || parallelism_ != cl_->cfg_.sai_parallelism ||
+      topology_aware_ != cl_->cfg_.topology_aware ||
+      members_ != cl_->ring_members()) {
+    invalidate();
+    Cluster::RingBuild b = cl_->build_ring();
+    sc_ = std::move(b.comm);
+    rank_to_exec_ = std::move(b.rank_to_exec);
+    exec_to_rank_ = std::move(b.exec_to_rank);
+    members_ = std::move(b.members);
+    parallelism_ = cl_->cfg_.sai_parallelism;
+    topology_aware_ = cl_->cfg_.topology_aware;
+  }
+  sc_->set_recv_timeout(cl_->cfg_.collective_timeout);
+  return *sc_;
+}
+
+int JobRing::rank_of_executor(int exec_id) {
+  comm();
+  return exec_to_rank_.at(static_cast<std::size_t>(exec_id));
+}
+
+int JobRing::executor_of_rank(int rank) {
+  comm();
+  return rank_to_exec_.at(static_cast<std::size_t>(rank));
+}
+
+void JobRing::invalidate() {
+  if (sc_) {
+    retired_bytes_ += sc_->total_bytes_delivered();
+    cl_->park_retired_comm(std::move(sc_));
+  }
+}
+
+std::uint64_t JobRing::bytes_delivered() const {
+  return retired_bytes_ + (sc_ ? sc_->total_bytes_delivered() : 0);
 }
 
 }  // namespace sparker::engine

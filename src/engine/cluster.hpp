@@ -34,6 +34,8 @@ namespace sparker::engine {
 using sim::Duration;
 using sim::Time;
 
+class JobRing;
+
 /// One executor process: task slots plus the mutable object manager
 /// (paper Section 4: "Mutable object manager stores intermediate states
 /// shared by tasks on the same executor").
@@ -216,11 +218,21 @@ class Cluster {
   /// Tuner inputs for a collective over the scalable communicator: `n`
   /// ranks (the live membership of the current stage attempt), each moving
   /// a `bytes`-sized aggregator over the SC link with the configured
-  /// channel parallelism.
+  /// channel parallelism. Two situational adjustments layer on top:
+  /// pending-membership lookahead (flag-gated) tunes for the post-churn
+  /// ring size, and when several scheduled jobs run concurrent rings the
+  /// NIC bandwidth is divided by the ring count so each job tunes for its
+  /// fair slice of the shared wire.
   comm::CollectiveCostInputs collective_cost_inputs(std::uint64_t bytes,
                                                     int n) const {
-    return comm::cost_inputs(spec_, spec_.sc_link, bytes, n,
-                             cfg_.sai_parallelism);
+    if (cfg_.membership_lookahead) {
+      n += membership_->pending_ring_delta();
+      if (n < 1) n = 1;
+    }
+    comm::CollectiveCostInputs in = comm::cost_inputs(
+        spec_, spec_.sc_link, bytes, n, cfg_.sai_parallelism);
+    if (active_rings_ > 1) in.nic_bw /= active_rings_;
+    return in;
   }
 
   // ---- driver -------------------------------------------------------------
@@ -257,11 +269,48 @@ class Cluster {
   int rank_of_executor(int exec_id);
   int executor_of_rank(int rank);
 
+  // ---- per-job rings (multi-tenant scheduling) -----------------------------
+
+  /// Ring access for a (possibly scheduled) job: `ring == nullptr` — the
+  /// solo default — resolves to the shared cluster-wide communicator; a
+  /// scheduler-issued JobRing resolves to that job's private communicator.
+  /// These four calls are the only ring entry points aggregate.hpp and
+  /// broadcast.hpp use, so solo and scheduled jobs share one code path.
+  comm::Communicator& ring_comm(JobRing* ring);
+  int ring_rank_of_executor(JobRing* ring, int exec_id);
+  int ring_executor_of_rank(JobRing* ring, int rank);
+  /// Retires the job's communicator after a collective failure; the next
+  /// ring_comm() rebuilds over the surviving topology.
+  void ring_invalidate(JobRing* ring);
+
+  /// Live isolated per-job rings (one per running scheduled job). The cost
+  /// model divides NIC bandwidth by this when > 1.
+  int concurrent_rings() const noexcept { return active_rings_; }
+
+  /// Parks a retired communicator until cluster destruction: its pump
+  /// coroutines may still hold suspended frames in the event queue.
+  void park_retired_comm(std::unique_ptr<comm::Communicator> c) {
+    if (c) retired_sc_.push_back(std::move(c));
+  }
+
   // ---- job bookkeeping ----------------------------------------------------
 
   int next_job_id() noexcept { return job_seq_++; }
 
  private:
+  friend class JobRing;
+
+  /// One freshly built communicator over the current usable membership,
+  /// plus its rank maps — shared by the cluster-wide rebuild and per-job
+  /// JobRing builds.
+  struct RingBuild {
+    std::unique_ptr<comm::Communicator> comm;
+    std::vector<int> rank_to_exec;
+    std::vector<int> exec_to_rank;
+    std::vector<int> members;
+  };
+  RingBuild build_ring();
+
   struct DemuxConn {
     explicit DemuxConn(net::Fabric& f, int src_host, int dst_host,
                        net::LinkParams link, sim::Simulator& s)
@@ -310,6 +359,7 @@ class Cluster {
   std::unordered_map<std::int64_t, std::unique_ptr<DemuxConn>> demux_;
   int fetch_seq_ = 0;
   int job_seq_ = 0;
+  int active_rings_ = 0;  ///< live JobRing count (concurrent scheduled jobs).
 
   std::unique_ptr<comm::Communicator> sc_;
   // Retired communicators: destroyed only with the cluster, because their
@@ -320,6 +370,54 @@ class Cluster {
   std::vector<int> sc_members_;  ///< executor ids the current comm spans.
   std::vector<int> rank_to_exec_;
   std::vector<int> exec_to_rank_;
+};
+
+/// A per-job view of the scalable communicator, issued by the multi-tenant
+/// scheduler so concurrent jobs cannot cross-deliver collective messages on
+/// the shared communicator's channel tags. Each ring spans the same live
+/// membership and the same fabric as the shared communicator — concurrent
+/// rings therefore contend on host NICs exactly as concurrent Spark jobs
+/// contend on real hardware — but owns its connection set. Solo call sites
+/// pass no JobRing and keep the shared communicator, bit for bit.
+class JobRing {
+ public:
+  explicit JobRing(Cluster& cl);
+  ~JobRing();
+  JobRing(const JobRing&) = delete;
+  JobRing& operator=(const JobRing&) = delete;
+
+  /// The job's communicator; built lazily, rebuilt when the live membership
+  /// or ring config changed (same staleness rule as Cluster::scalable_comm).
+  comm::Communicator& comm();
+  int rank_of_executor(int exec_id);
+  int executor_of_rank(int rank);
+
+  /// Retires the communicator (parked on the cluster until destruction);
+  /// the next comm() rebuilds over the surviving topology.
+  void invalidate();
+
+  /// Network bytes this job's collectives have delivered, summed across
+  /// rebuilds — the scheduler's per-job bandwidth accounting.
+  std::uint64_t bytes_delivered() const;
+
+ private:
+  Cluster* cl_;
+  std::unique_ptr<comm::Communicator> sc_;
+  std::uint64_t retired_bytes_ = 0;
+  int parallelism_ = 0;
+  bool topology_aware_ = false;
+  std::vector<int> members_;
+  std::vector<int> rank_to_exec_;
+  std::vector<int> exec_to_rank_;
+};
+
+/// Per-job options the scheduler threads through the broadcast/aggregate
+/// entry points. Default-constructed options describe a solo job: shared
+/// cluster ring, no tenant attribution — the exact pre-scheduler behaviour.
+struct JobOptions {
+  JobRing* ring = nullptr;  ///< nullptr = shared cluster-wide communicator.
+  int tenant = -1;          ///< tenant id for span/metric attribution.
+  int sched_job = -1;       ///< scheduler job id (spans carry both ids).
 };
 
 }  // namespace sparker::engine

@@ -228,6 +228,18 @@ struct EngineConfig {
   /// changes *when* recovery work happens (results are bit-identical); the
   /// overlap is attributed via the `recover.overlap` trace span.
   bool overlap_recovery = true;
+  /// Pending-membership lookahead for the collective tuner: when a join or
+  /// drain has been announced but not yet enacted at a stage boundary, tune
+  /// for the post-churn ring size instead of reacting after admission.
+  /// Never changes results (only which algorithm the kAuto tuner picks), but
+  /// off by default so existing tuner-validation goldens are untouched.
+  bool membership_lookahead = false;
+  /// Publish per-job metric series (`job.<id>.*`) from JobMetricsGuard in
+  /// addition to the cluster-lifetime aggregates. Keyed by the cluster's
+  /// unique job id, so concurrent or back-to-back jobs never collide. Off
+  /// by default to keep metric cardinality flat for solo campaigns; the
+  /// multi-tenant scheduler turns it on for accounting.
+  bool per_job_metrics = false;
   FaultPlan faults{};
   FaultSchedule fault_schedule{};
   MembershipSchedule membership{};

@@ -1,0 +1,239 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace sparker::sched {
+
+const char* to_string(Reject r) {
+  switch (r) {
+    case Reject::kNone:
+      return "none";
+    case Reject::kQueueFull:
+      return "queue_full";
+    case Reject::kOverloaded:
+      return "overloaded";
+  }
+  return "?";
+}
+
+JobScheduler::JobScheduler(engine::Cluster& cl, SchedConfig cfg)
+    : cl_(&cl),
+      cfg_(std::move(cfg)),
+      policy_(PolicyRegistry::instance().make(cfg_.policy)),
+      inflight_(cl.simulator()) {
+  // Per-job accounting needs the engine-side series too (JobMetricsGuard
+  // keys them by the cluster-unique engine job id).
+  cl_->config().per_job_metrics = true;
+  cl_->metrics().set_gauge("sched.max_concurrent", cfg_.max_concurrent);
+}
+
+JobScheduler::~JobScheduler() = default;
+
+double JobScheduler::tenant_weight(int tenant) const {
+  auto it = cfg_.tenant_weights.find(tenant);
+  return it == cfg_.tenant_weights.end() ? 1.0 : it->second;
+}
+
+double JobScheduler::committed_demand(double extra_cores,
+                                      double extra_net) const {
+  double cores = queued_cores_ + extra_cores;
+  double net = queued_net_ + extra_net;
+  for (const auto& [tenant, u] : running_usage_) {
+    cores += u.cores_frac;
+    net += u.net_frac;
+  }
+  return std::max(cores, net);
+}
+
+int JobScheduler::submit(const JobSpec& spec, JobFn fn) {
+  const int id = next_job_++;
+  obs::TraceSink& tr = cl_->trace();
+  obs::MetricsRegistry& reg = cl_->metrics();
+  JobRecord rec;
+  rec.job = id;
+  rec.tenant = spec.tenant;
+  rec.submitted = cl_->simulator().now();
+  reg.add("sched.submitted", 1);
+
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  job->fn = std::move(fn);
+  job->id = id;
+  const double total_cores = static_cast<double>(cl_->spec().total_cores());
+  job->cores_frac =
+      std::min<double>(spec.tasks, total_cores) / std::max(1.0, total_cores);
+  // Net demand in "NIC-seconds": an aggregator one NIC moves in a second
+  // counts as a full share.
+  job->net_frac = std::min(
+      1.0, static_cast<double>(spec.aggregator_bytes) /
+               std::max(1.0, cl_->spec().fabric.host.nic_bw));
+
+  Reject reject = Reject::kNone;
+  if (static_cast<int>(queue_.size()) >= cfg_.max_queue) {
+    reject = Reject::kQueueFull;
+  } else if (cfg_.overload_threshold > 0 &&
+             committed_demand(job->cores_frac, job->net_frac) >
+                 cfg_.overload_threshold) {
+    reject = Reject::kOverloaded;
+  }
+  if (reject != Reject::kNone) {
+    rec.rejected = reject;
+    records_.push_back(rec);
+    ++rejected_;
+    reg.add("sched.rejected", 1);
+    reg.add(std::string("sched.rejected.") + to_string(reject), 1);
+    tr.instant("sched", "sched.reject", obs::kDriverPid, 0,
+               {{"job", id},
+                {"tenant", spec.tenant},
+                {"reason", static_cast<std::int64_t>(reject)}});
+    return -1;
+  }
+
+  records_.push_back(rec);
+  reg.add("sched.admitted", 1);
+  inflight_.add(1);
+  tr.instant("sched", "sched.submit", obs::kDriverPid, 0,
+             {{"job", id}, {"tenant", spec.tenant}});
+  if (running_ < cfg_.max_concurrent && queue_.empty()) {
+    dispatch(std::move(job));
+  } else {
+    queued_cores_ += job->cores_frac;
+    queued_net_ += job->net_frac;
+    queue_.push_back(std::move(job));
+    reg.set_gauge("sched.queued", static_cast<double>(queue_.size()));
+  }
+  return id;
+}
+
+std::map<int, TenantUsage> JobScheduler::usage_view() const {
+  std::map<int, TenantUsage> view = consumed_usage_;
+  const sim::Time now = cl_->simulator().now();
+  for (const auto& [id, job] : live_) {
+    const double held = sim::to_seconds(now - job.started);
+    TenantUsage& u = view[job.tenant];
+    u.cores_frac += job.cores_frac * held;
+    u.net_frac += job.net_frac * held;
+    u.weight = tenant_weight(job.tenant);
+  }
+  return view;
+}
+
+void JobScheduler::try_dispatch() {
+  while (running_ < cfg_.max_concurrent && !queue_.empty()) {
+    std::vector<QueuedJob> view;
+    view.reserve(queue_.size());
+    for (const auto& j : queue_) {
+      QueuedJob q;
+      q.job = j->id;
+      q.tenant = j->spec.tenant;
+      q.weight = tenant_weight(j->spec.tenant);
+      q.cores_frac = j->cores_frac;
+      q.net_frac = j->net_frac;
+      view.push_back(q);
+    }
+    const std::size_t idx = policy_->pick(view, usage_view());
+    std::unique_ptr<Job> job = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    queued_cores_ -= job->cores_frac;
+    queued_net_ -= job->net_frac;
+    cl_->metrics().set_gauge("sched.queued",
+                             static_cast<double>(queue_.size()));
+    dispatch(std::move(job));
+  }
+}
+
+void JobScheduler::dispatch(std::unique_ptr<Job> job) {
+  obs::TraceSink& tr = cl_->trace();
+  JobRecord& rec = records_[static_cast<std::size_t>(job->id)];
+  rec.started = cl_->simulator().now();
+  if (rec.started > rec.submitted) {
+    tr.span_at("sched", "sched.queued", obs::kDriverPid, 0, rec.submitted,
+               rec.started, {{"job", job->id}, {"tenant", job->spec.tenant}});
+  }
+  TenantUsage& u = running_usage_[job->spec.tenant];
+  u.cores_frac += job->cores_frac;
+  u.net_frac += job->net_frac;
+  u.weight = tenant_weight(job->spec.tenant);
+  live_[job->id] = {job->spec.tenant, job->cores_frac, job->net_frac,
+                    rec.started};
+  ++running_;
+  cl_->metrics().set_gauge("sched.running", static_cast<double>(running_));
+  job->ring = std::make_unique<engine::JobRing>(*cl_);
+  job->span = tr.begin("sched", "sched.job", obs::kDriverPid, 0,
+                       {{"job", job->id}, {"tenant", job->spec.tenant}});
+  cl_->simulator().spawn(run_job(std::move(job)));
+}
+
+sim::Task<void> JobScheduler::run_job(std::unique_ptr<Job> job) {
+  JobContext ctx;
+  ctx.job = job->id;
+  ctx.opt.ring = job->ring.get();
+  ctx.opt.tenant = job->spec.tenant;
+  ctx.opt.sched_job = job->id;
+  bool failed = false;
+  try {
+    co_await job->fn(ctx);
+  } catch (...) {
+    failed = true;
+  }
+  finish(*job, failed);
+}
+
+void JobScheduler::finish(Job& job, bool failed) {
+  obs::MetricsRegistry& reg = cl_->metrics();
+  JobRecord& rec = records_[static_cast<std::size_t>(job.id)];
+  rec.finished = cl_->simulator().now();
+  rec.failed = failed;
+  rec.done = true;
+  rec.net_bytes = job.ring->bytes_delivered();
+  // Retire the ring now (parked on the cluster) so the concurrent-ring
+  // count — and with it the contention-aware tuner — tracks live jobs.
+  job.ring.reset();
+  cl_->trace().end(job.span, {{"failed", failed ? 1 : 0}});
+
+  TenantUsage& u = running_usage_[job.spec.tenant];
+  u.cores_frac -= job.cores_frac;
+  u.net_frac -= job.net_frac;
+  const double held_s = sim::to_seconds(rec.finished - rec.started);
+  TenantUsage& cum = consumed_usage_[job.spec.tenant];
+  cum.cores_frac += job.cores_frac * held_s;
+  cum.net_frac += job.net_frac * held_s;
+  cum.weight = tenant_weight(job.spec.tenant);
+  live_.erase(job.id);
+
+  const std::int64_t latency =
+      static_cast<std::int64_t>(rec.finished - rec.submitted);
+  const std::int64_t wait =
+      static_cast<std::int64_t>(rec.started - rec.submitted);
+  // Core-seconds are modeled as demand x wall time: the job held up to
+  // `tasks` cores (capped at the cluster) for its run.
+  const double total_cores = static_cast<double>(cl_->spec().total_cores());
+  const std::int64_t core_ns = static_cast<std::int64_t>(
+      job.cores_frac * total_cores *
+      static_cast<double>(rec.finished - rec.started));
+
+  reg.add(failed ? "sched.failed" : "sched.completed", 1);
+  reg.histogram("sched.job_latency_ns").observe(latency);
+  reg.histogram("sched.queue_wait_ns").observe(wait);
+  const std::string tprefix =
+      "sched.tenant." + std::to_string(job.spec.tenant) + ".";
+  reg.add(tprefix + "completed", failed ? 0 : 1);
+  reg.add(tprefix + "net_bytes", static_cast<std::int64_t>(rec.net_bytes));
+  reg.add(tprefix + "core_ns", core_ns);
+  const std::string jprefix = "sched.job." + std::to_string(job.id) + ".";
+  reg.add(jprefix + "net_bytes", static_cast<std::int64_t>(rec.net_bytes));
+  reg.add(jprefix + "latency_ns", latency);
+  reg.add(jprefix + "queue_wait_ns", wait);
+  reg.add(jprefix + "core_ns", core_ns);
+  reg.set_gauge(jprefix + "tenant", job.spec.tenant);
+
+  --running_;
+  if (!failed) ++completed_;
+  reg.set_gauge("sched.running", static_cast<double>(running_));
+  try_dispatch();
+  inflight_.done();
+}
+
+sim::Task<void> JobScheduler::drain() { co_await inflight_.wait(); }
+
+}  // namespace sparker::sched

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.hpp"
+#include "sched/policy.hpp"
+#include "sim/sync.hpp"
+
+/// \file scheduler.hpp
+/// The multi-tenant job scheduler: a stream of submitted jobs — each a
+/// broadcast + splitAggregate/splitAllreduce campaign with a tenant id and
+/// an aggregator size — multiplexed onto one shared cluster. The scheduler
+/// layers between ML drivers and engine/aggregate.hpp:
+///
+///  * concurrency — up to `max_concurrent` jobs run at once, each on its
+///    own JobRing (private communicator over the shared fabric, so rings
+///    contend on host NICs while their messages stay isolated);
+///  * policy — which queued job dispatches next is delegated to a
+///    SchedulerPolicy from the PolicyRegistry (FIFO, round-robin,
+///    weighted fair-share / DRF);
+///  * admission control — a bounded queue plus optional load-shedding when
+///    the projected demand committed to the cluster exceeds a threshold;
+///  * accounting — per-job and per-tenant resource usage (core-seconds,
+///    collective network bytes, queue wait, latency) published through the
+///    cluster's MetricsRegistry, and `sched.*` spans carrying tenant/job
+///    ids so interleaved traces attribute exactly.
+
+namespace sparker::sched {
+
+/// Why a submission was refused at admission.
+enum class Reject {
+  kNone = 0,
+  kQueueFull,    ///< bounded queue at capacity.
+  kOverloaded,   ///< projected utilization above the load-shed threshold.
+};
+
+const char* to_string(Reject r);
+
+/// One submitted job, as the submitting driver describes it.
+struct JobSpec {
+  int tenant = 0;
+  /// Modeled aggregator size of the job's collective (admission control and
+  /// DRF net demand read this; it does not change what the job body runs).
+  std::uint64_t aggregator_bytes = 0;
+  /// Compute tasks the job's stage 1 spawns (DRF cores demand).
+  int tasks = 0;
+};
+
+/// Handed to the job body. The body threads `opt` into every
+/// broadcast_value / split_aggregate / split_allreduce call it makes, which
+/// routes those collectives onto the job's private ring and stamps its
+/// tenant/job ids onto their spans and metrics.
+struct JobContext {
+  engine::JobOptions opt;
+  int job = -1;  ///< scheduler job id (same value as opt.sched_job).
+};
+
+/// The job body: runs the campaign, co_returns when done. Failures
+/// propagate as exceptions and mark the job failed (they do not take the
+/// scheduler down).
+using JobFn = std::function<sim::Task<void>(JobContext&)>;
+
+/// Lifecycle record of one submission, rejected ones included.
+struct JobRecord {
+  int job = -1;
+  int tenant = 0;
+  Reject rejected = Reject::kNone;
+  bool failed = false;
+  bool done = false;
+  sim::Time submitted = 0;
+  sim::Time started = 0;   ///< dispatch time (== submitted if never queued).
+  sim::Time finished = 0;
+  std::uint64_t net_bytes = 0;  ///< collective bytes moved on the job's ring.
+};
+
+struct SchedConfig {
+  PolicyId policy = PolicyId::kFifo;
+  /// Concurrent dispatch slots. The serial driver loop and the shared NICs
+  /// saturate well before large values pay off.
+  int max_concurrent = 4;
+  /// Bounded admission queue; submissions beyond it are rejected.
+  int max_queue = 64;
+  /// Load shedding: reject when the demand committed to the cluster
+  /// (running + queued + the candidate, in dominant-resource fractions of
+  /// cluster capacity) would exceed this. 0 disables the check. Values
+  /// above 1 permit backlog: 3.0 means "up to three clusters' worth of
+  /// outstanding demand".
+  double overload_threshold = 0.0;
+  /// Fair-share weights by tenant id; absent tenants weigh 1.
+  std::map<int, double> tenant_weights;
+};
+
+class JobScheduler {
+ public:
+  /// Binds to a cluster. Turns `per_job_metrics` on for the cluster so
+  /// engine-side JobMetricsGuard publishes the per-job series the
+  /// scheduler's accounting complements.
+  JobScheduler(engine::Cluster& cl, SchedConfig cfg);
+  ~JobScheduler();
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Submits a job. Returns the scheduler job id (>= 0) if admitted —
+  /// dispatched immediately when a slot is free, queued otherwise — or -1
+  /// if rejected (the record still exists; see records()).
+  int submit(const JobSpec& spec, JobFn fn);
+
+  /// Completes when every admitted job has finished. Call once submissions
+  /// have stopped (jobs still queued or running are waited for; a burst
+  /// submitted after the scheduler has fully idled needs its own drain).
+  sim::Task<void> drain();
+
+  /// Every submission in order, including rejected ones.
+  const std::vector<JobRecord>& records() const noexcept { return records_; }
+
+  int running() const noexcept { return running_; }
+  int queued() const noexcept { return static_cast<int>(queue_.size()); }
+  std::int64_t completed() const noexcept { return completed_; }
+  std::int64_t rejected() const noexcept { return rejected_; }
+
+  engine::Cluster& cluster() noexcept { return *cl_; }
+  const SchedConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Job {
+    JobSpec spec;
+    JobFn fn;
+    int id = -1;
+    double cores_frac = 0.0;
+    double net_frac = 0.0;
+    std::unique_ptr<engine::JobRing> ring;
+    obs::SpanId span = obs::kNoSpan;
+  };
+
+  double tenant_weight(int tenant) const;
+  /// Demand the cluster is committed to: running + queued + `extra`, as a
+  /// dominant-resource fraction of capacity.
+  double committed_demand(double extra_cores, double extra_net) const;
+  /// The usage view handed to the policy: resource-seconds each tenant has
+  /// consumed (finished jobs) plus what its running jobs have accrued so
+  /// far. History is what lets fair-share amortize a tenant whose rare
+  /// jobs fill the cluster (instantaneously it would look idle — and
+  /// maximally entitled — every time one of its jobs arrives).
+  std::map<int, TenantUsage> usage_view() const;
+  void try_dispatch();
+  void dispatch(std::unique_ptr<Job> job);
+  sim::Task<void> run_job(std::unique_ptr<Job> job);
+  void finish(Job& job, bool failed);
+
+  engine::Cluster* cl_;
+  SchedConfig cfg_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  /// Instantaneous demand of running jobs (fractions of capacity) — the
+  /// admission-control view.
+  std::map<int, TenantUsage> running_usage_;
+  /// Resource-seconds consumed by each tenant's finished jobs — the
+  /// fair-share history (usage_view adds running-job accrual on top).
+  std::map<int, TenantUsage> consumed_usage_;
+  /// Demands and start times of running jobs, keyed by job id, for accrual.
+  struct LiveJob {
+    int tenant = 0;
+    double cores_frac = 0.0;
+    double net_frac = 0.0;
+    sim::Time started = 0;
+  };
+  std::map<int, LiveJob> live_;
+  std::vector<JobRecord> records_;
+  sim::WaitGroup inflight_;
+  int next_job_ = 0;
+  int running_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t rejected_ = 0;
+  double queued_cores_ = 0.0;  ///< summed demand of queued jobs.
+  double queued_net_ = 0.0;
+};
+
+}  // namespace sparker::sched
