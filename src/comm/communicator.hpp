@@ -121,15 +121,23 @@ class Communicator {
               static_cast<double>(m.bytes), link_.stream_bw)) *
           (degrade - 1.0));
     }
-    if (!link_.jvm && extra == 0) {
-      connection(src, dst, channel).post(std::move(m));
-      return;
-    }
     sim::Time ready = simulator().now() + extra;
     if (link_.jvm) {
       const sim::Duration cpu = sim::transfer_time(
           static_cast<double>(m.bytes), link_.stream_bw);
       ready = io_thread(src, channel).enqueue(cpu) + extra;
+    }
+    // FIFO enforcement: a degraded/delayed channel stretches the wire, it
+    // never reorders it. Without the clamp, a message posted after the
+    // fault heals (or simply a smaller message under a byte-proportional
+    // degrade) would overtake one still in flight and the ring would merge
+    // the wrong round's segment.
+    sim::Time& last = last_ready_[conn_key(src, dst, channel)];
+    if (ready < last) ready = last;
+    last = ready;
+    if (!link_.jvm && ready <= simulator().now()) {
+      connection(src, dst, channel).post(std::move(m));
+      return;
     }
     auto* conn = &connection(src, dst, channel);
     simulator().call_at(
@@ -182,16 +190,19 @@ class Communicator {
   }
 
  private:
+  static std::uint64_t conn_key(int src, int dst, int channel) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 34) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 8) |
+           static_cast<std::uint64_t>(channel);
+  }
+
   net::Connection& connection(int src, int dst, int channel) {
     check_rank(src);
     check_rank(dst);
     if (channel < 0 || channel >= parallelism_) {
       throw std::out_of_range("channel out of range");
     }
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 34) |
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 8) |
-        static_cast<std::uint64_t>(channel);
+    const std::uint64_t key = conn_key(src, dst, channel);
     auto it = conns_.find(key);
     if (it == conns_.end()) {
       it = conns_
@@ -227,6 +238,9 @@ class Communicator {
   int io_cores_;
   std::unordered_map<std::uint64_t, std::unique_ptr<net::Connection>> conns_;
   std::unordered_map<std::uint64_t, std::unique_ptr<sim::FifoServer>> io_;
+  /// Per-(src, dst, channel) latest scheduled hand-off time, enforcing the
+  /// FIFO contract under time-varying post delays.
+  std::unordered_map<std::uint64_t, sim::Time> last_ready_;
 };
 
 }  // namespace sparker::comm

@@ -28,6 +28,8 @@ const char* to_string(AlgoId id) {
       return "rabenseifner";
     case AlgoId::kDriverFunnel:
       return "driver_funnel";
+    case AlgoId::kSparseRing:
+      return "sparse_ring";
   }
   return "?";
 }
@@ -45,7 +47,7 @@ const char* to_string(CollectiveOp op) {
 std::optional<AlgoId> parse_algo(std::string_view name) {
   for (AlgoId id : {AlgoId::kAuto, AlgoId::kRing, AlgoId::kHalving,
                     AlgoId::kPairwise, AlgoId::kRabenseifner,
-                    AlgoId::kDriverFunnel}) {
+                    AlgoId::kDriverFunnel, AlgoId::kSparseRing}) {
     if (name == to_string(id)) return id;
   }
   return std::nullopt;
@@ -55,7 +57,7 @@ std::string algo_names() {
   std::string out;
   for (AlgoId id : {AlgoId::kAuto, AlgoId::kRing, AlgoId::kHalving,
                     AlgoId::kPairwise, AlgoId::kRabenseifner,
-                    AlgoId::kDriverFunnel}) {
+                    AlgoId::kDriverFunnel, AlgoId::kSparseRing}) {
     if (!out.empty()) out += "|";
     out += to_string(id);
   }
@@ -67,10 +69,12 @@ const std::vector<AlgoId>& registered_algos(CollectiveOp op) {
   // implementations are type-agnostic, so one list serves every V.
   static const std::vector<AlgoId> rs = {AlgoId::kRing, AlgoId::kHalving,
                                          AlgoId::kPairwise,
-                                         AlgoId::kDriverFunnel};
+                                         AlgoId::kDriverFunnel,
+                                         AlgoId::kSparseRing};
   static const std::vector<AlgoId> ar = {AlgoId::kHalving, AlgoId::kPairwise,
                                          AlgoId::kRabenseifner,
-                                         AlgoId::kDriverFunnel};
+                                         AlgoId::kDriverFunnel,
+                                         AlgoId::kSparseRing};
   return op == CollectiveOp::kReduceScatter ? rs : ar;
 }
 
@@ -99,6 +103,7 @@ CollectiveCostInputs cost_inputs(const net::ClusterSpec& spec,
   in.stream_bw = link.stream_bw;
   in.nic_bw = spec.fabric.host.nic_bw;
   in.merge_bw = spec.rates.merge_bw;
+  in.codec_bw = spec.rates.codec_bw;
   in.jvm = link.jvm;
   in.msg_overhead_s = sim::to_seconds(link.send_overhead +
                                       link.recv_overhead +
@@ -130,7 +135,8 @@ double predict_seconds(CollectiveOp op, AlgoId algo,
       std::max(1, std::min(in.parallelism, in.io_cores)));
   const double o = in.msg_overhead_s;
   const double bw = in.stream_bw;
-  const double gamma = 1.0 / in.merge_bw;  // per-byte merge cost
+  const double gamma = 1.0 / in.merge_bw;    // per-byte merge cost
+  const double gamma_c = 1.0 / in.codec_bw;  // per-byte codec scan cost
   const double jvm = in.jvm ? 1.0 : 0.0;
   const double rph = static_cast<double>(std::max(1, in.ranks_per_host));
   if (in.n <= 1) return 0.0;
@@ -169,11 +175,37 @@ double predict_seconds(CollectiveOp op, AlgoId algo,
   const double cross_frac =
       !multi_host ? 0.0 : (n - rph) / std::max(1.0, n - 1);
 
+  // Sparse-ring per-hop encoded bytes: each encoded entry costs 1.5x its
+  // dense bytes (4-byte index + 8-byte value), capped at the dense size by
+  // the adaptive switch. Fill-in from folding more ranks' contributions is
+  // priced at the stationary estimate, not the worst-case disjoint union:
+  // ML aggregators concentrate updates on hot coordinates, so the union
+  // tracks the per-rank density — and when a workload does fill in past
+  // the 2/3 crossover, the adaptive representation switches the segment
+  // dense mid-ring, so the cost of an optimistic pick is bounded by the
+  // dense ring plus two codec scans.
+  auto sparse_hop_bytes = [&](double dense_s) {
+    return std::min(dense_s, 1.5 * in.density * dense_s);
+  };
+
   auto rs_cost = [&](AlgoId a) -> double {
     switch (a) {
       case AlgoId::kRing: {
         const double s = S / (n * P);  // per-channel segment
         return (n - 1) * (o + ring_round(s) + s * gamma);
+      }
+      case AlgoId::kSparseRing: {
+        // The ring dataflow with index+value encoding: hop costs scale with
+        // the encoded bytes, plus one streaming codec pass each to encode at
+        // the start and decode at the end (gather/scatter scans, priced at
+        // the codec bandwidth the engine charges them at). At density 1.0
+        // this is the ring plus the codec passes — strictly dominated, so
+        // the tuner only ever picks it on a real (sub-crossover) density
+        // estimate.
+        const double s = S / (n * P);
+        const double sk = sparse_hop_bytes(s);
+        return 2.0 * S * gamma_c +  // encode + decode scans
+               (n - 1) * (o + ring_round(sk) + sk * gamma);
       }
       case AlgoId::kPairwise: {
         // Hostname-ordered ranks: at exchange distance k most partners are
@@ -218,6 +250,13 @@ double predict_seconds(CollectiveOp op, AlgoId algo,
       case AlgoId::kRabenseifner: {
         const double s = S / (n * P);
         return rs_cost(AlgoId::kRing) + (n - 1) * (o + ring_round(s));
+      }
+      case AlgoId::kSparseRing: {
+        // Sparse reduce-scatter, then an allgather of fully reduced
+        // segments, priced at the same stationary density estimate.
+        const double s = S / (n * P);
+        const double sk = sparse_hop_bytes(s);
+        return rs_cost(AlgoId::kSparseRing) + (n - 1) * (o + ring_round(sk));
       }
       case AlgoId::kPairwise:
       case AlgoId::kHalving: {

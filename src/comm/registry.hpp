@@ -53,6 +53,7 @@ enum class AlgoId {
   kPairwise = 3,      ///< MPICH pairwise exchange (all-to-all traffic).
   kRabenseifner = 4,  ///< ring reduce-scatter + ring allgather composition.
   kDriverFunnel = 5,  ///< flat funnel into rank 0 — the Spark-esque baseline.
+  kSparseRing = 6,    ///< ring with SparCML-style index+value compression.
 };
 
 const char* to_string(AlgoId id);
@@ -76,8 +77,15 @@ struct CollectiveCostInputs {
   double stream_bw = 340e6;  ///< per-connection stream cap, bytes/s.
   double nic_bw = 1185e6;    ///< host NIC line rate, bytes/s.
   double merge_bw = 3000e6;  ///< segment-merge memory bandwidth, bytes/s.
+  /// Sparse codec scan bandwidth (encode gather / decode scatter), bytes/s.
+  double codec_bw = 12000e6;
   bool jvm = true;           ///< JVM link: IO-thread copy on send and recv.
   double msg_overhead_s = 72e-6;  ///< per-message send+recv overhead+latency.
+  /// Estimated nonzero fraction of the aggregator (1.0 = dense). Only the
+  /// sparse-ring pricing consults it; without a real estimate the default
+  /// keeps kSparseRing strictly dominated by kRing, so the tuner never
+  /// picks compression blind.
+  double density = 1.0;
 };
 
 /// Builds tuner inputs from a cluster spec and the link the collective will
@@ -288,6 +296,11 @@ class CollectiveRegistry {
       if (whole) out.push_back({0, std::move(*whole)});
       co_return out;
     };
+    // The sparse ring reuses the ring dataflow verbatim: compression lives
+    // in the SegOps the engine builds for it (density-optimal encode on
+    // split, representation-adaptive merge), so the distinct id exists for
+    // trace attribution (algo=6) and density-aware tuner pricing.
+    rs_[AlgoId::kSparseRing] = rs_[AlgoId::kRing];
 
     ar_[AlgoId::kRabenseifner] = [](Communicator& c, int rank,
                                     const SegOps<V>& ops) {
@@ -339,6 +352,9 @@ class CollectiveRegistry {
       co_return co_await binomial_broadcast<V>(c, rank, 0, std::move(value),
                                                bytes);
     };
+    // Same reuse on the allreduce side: sparse ring = the Rabenseifner
+    // composition with compression supplied through the SegOps.
+    ar_[AlgoId::kSparseRing] = ar_[AlgoId::kRabenseifner];
   }
 
   std::map<AlgoId, ReduceScatterFn> rs_;

@@ -120,4 +120,56 @@ std::vector<Document> generate_corpus_partition(const DatasetPreset& preset,
   return docs;
 }
 
+std::vector<SparseUpdate> generate_sparse_update_partition(
+    std::int64_t dim, double density, int partition, int num_bands,
+    std::int64_t count, std::uint64_t seed) {
+  Rng rng = Rng(seed).split(static_cast<std::uint64_t>(partition) + 211);
+  num_bands = std::max(1, num_bands);
+  const std::int64_t band = partition % num_bands;
+  const std::int64_t band_w = std::max<std::int64_t>(1, dim / num_bands);
+  const std::int64_t lo = band * band_w;
+  const auto nnz = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(density * static_cast<double>(dim) + 0.5), 1,
+      dim);
+  // Slot-sample one index per equal-width slot of a window that starts at
+  // the partition's band: indices come out unique and (after the wrap sort)
+  // sorted, with support spilling past the band only when density demands.
+  const std::int64_t window = std::max(band_w, nnz);
+  std::vector<SparseUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t u = 0; u < count; ++u) {
+    SparseUpdate up;
+    up.indices.reserve(static_cast<std::size_t>(nnz));
+    up.deltas.reserve(static_cast<std::size_t>(nnz));
+    for (std::int64_t j = 0; j < nnz; ++j) {
+      const std::int64_t slot_lo = lo + j * window / nnz;
+      const std::int64_t slot_hi = lo + (j + 1) * window / nnz;
+      const std::int64_t span = std::max<std::int64_t>(1, slot_hi - slot_lo);
+      const std::int64_t idx =
+          (slot_lo + static_cast<std::int64_t>(
+                         rng.next_below(static_cast<std::uint64_t>(span)))) %
+          dim;
+      up.indices.push_back(static_cast<std::int32_t>(idx));
+      up.deltas.push_back(
+          static_cast<std::int64_t>(rng.next_below(199)) - 99);
+    }
+    // The window can wrap past `dim`; restore sorted order (indices stay
+    // unique: distinct slots map to distinct residues for window <= dim).
+    std::vector<std::size_t> order(up.indices.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return up.indices[a] < up.indices[b];
+    });
+    SparseUpdate sorted;
+    sorted.indices.reserve(up.indices.size());
+    sorted.deltas.reserve(up.deltas.size());
+    for (std::size_t i : order) {
+      sorted.indices.push_back(up.indices[i]);
+      sorted.deltas.push_back(up.deltas[i]);
+    }
+    updates.push_back(std::move(sorted));
+  }
+  return updates;
+}
+
 }  // namespace sparker::data

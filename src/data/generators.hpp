@@ -63,4 +63,21 @@ std::vector<Document> generate_corpus_partition(const DatasetPreset& preset,
                                                 std::int64_t count,
                                                 std::uint64_t seed);
 
+/// One sparse additive update over a `dim`-wide model: sorted unique
+/// indices with small integer deltas. Integer-valued so that downstream
+/// bit-identity assertions are exact under any fold order.
+struct SparseUpdate {
+  std::vector<std::int32_t> indices;  ///< sorted, unique, in [0, dim).
+  std::vector<std::int64_t> deltas;   ///< same length as `indices`.
+};
+
+/// Generates `count` sparse updates with nonzero fraction ~`density` for
+/// one partition. Partitions are striped across `num_bands` disjoint index
+/// bands, so summing across partitions fills in support gradually — the
+/// access pattern that makes ring-hop fill-in (and thus the dense↔sparse
+/// crossover) worth measuring. Deterministic per (partition, seed).
+std::vector<SparseUpdate> generate_sparse_update_partition(
+    std::int64_t dim, double density, int partition, int num_bands,
+    std::int64_t count, std::uint64_t seed);
+
 }  // namespace sparker::data

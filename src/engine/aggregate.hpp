@@ -63,6 +63,22 @@ struct SplitAggSpec {
   std::function<V(std::vector<std::pair<int, V>>&)> concat_op;
   /// Modeled serialized size of a segment.
   std::function<std::uint64_t(const V&)> v_bytes;
+
+  // Optional compression hooks (src/comp): all three absent = the dense
+  // path, byte-for-byte as before. With them, the tuner prices the
+  // compressed ring (comm::AlgoId::kSparseRing) against the dense
+  // algorithms, and when the sparse ring is dispatched the stage re-encodes
+  // each freshly split segment density-optimally. The sparse path runs
+  // inside the same stage loops, so it inherits fault retry, membership
+  // boundaries and residual refold unchanged.
+  /// Estimated nonzero fraction of an aggregator (the tuner's density
+  /// input). Absent: density 1.0, which keeps kSparseRing dominated.
+  std::function<double(const U&)> density_op;
+  /// Re-encodes a split segment into its cheapest representation. Absent:
+  /// segments ship exactly as split_op produced them, even on kSparseRing.
+  std::function<V(V)> encode_op;
+  /// Representation probe, for comp.switch trace attribution.
+  std::function<bool(const V&)> is_sparse_op;
 };
 
 /// Timing/fault bookkeeping for one aggregation job.
@@ -174,6 +190,84 @@ std::uint64_t aggregator_bytes(
     if (v) return spec.base.bytes(*v);
   }
   return spec.base.bytes(spec.base.zero);
+}
+
+/// Estimated aggregator density for the tuner, sampled the same way as
+/// aggregator_bytes (first stage-1 value present; the zero aggregator only
+/// when no partition produced one). 1.0 without a density_op — the dense
+/// specs never price the sparse ring as a win.
+template <typename T, typename U, typename V>
+double aggregator_density(const SplitAggSpec<T, U, V>& spec,
+                          const std::vector<std::shared_ptr<U>>& per_exec) {
+  if (!spec.density_op) return 1.0;
+  for (const auto& v : per_exec) {
+    if (v) return spec.density_op(*v);
+  }
+  return spec.density_op(spec.base.zero);
+}
+
+/// Builds the SegOps a split-stage collective runs over, wiring in the
+/// compression hooks when `algo` is the sparse ring: split re-encodes each
+/// segment density-optimally, and reduce_into probes the representation
+/// around each merge so dense<->sparse flips land in the trace as
+/// "comp.switch" instants (fill-in growing past the byte crossover is
+/// exactly when they fire). Because the representation lives inside V,
+/// v_bytes already reports the compressed size — hop transport and merge
+/// sleeps get cheaper with no further plumbing.
+template <typename T, typename U, typename V>
+comm::SegOps<V> make_seg_ops(Cluster& cl, int job, comm::AlgoId algo,
+                             int exec_id, int rank,
+                             const SplitAggSpec<T, U, V>& spec,
+                             const std::shared_ptr<U>& local) {
+  const bool comp_on =
+      algo == comm::AlgoId::kSparseRing && static_cast<bool>(spec.encode_op);
+  comm::SegOps<V> ops;
+  if (comp_on) {
+    ops.split = [&spec, &local](int seg, int nseg) {
+      return spec.encode_op(spec.split_op(*local, seg, nseg));
+    };
+  } else {
+    ops.split = [&spec, &local](int seg, int nseg) {
+      return spec.split_op(*local, seg, nseg);
+    };
+  }
+  if (comp_on && spec.is_sparse_op) {
+    ops.reduce_into = [&cl, &spec, job, exec_id, rank](V& a, const V& b) {
+      const bool was = spec.is_sparse_op(a);
+      spec.reduce_op(a, b);
+      const bool now = spec.is_sparse_op(a);
+      if (was != now) {
+        cl.trace().instant("comp", "comp.switch", obs::exec_pid(exec_id),
+                           rank, {{"job", job}, {"sparse", now ? 1 : 0}});
+      }
+    };
+  } else {
+    ops.reduce_into = spec.reduce_op;
+  }
+  ops.bytes = spec.v_bytes;
+  ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
+  return ops;
+}
+
+/// The encode pass of the sparse ring: one streaming scan over the local
+/// aggregator gathering nonzeros into index+value segments, priced at the
+/// codec scan bandwidth and attributed to the "comp" trace category
+/// (fig02-style breakdowns report it in its own column). The scan emits the
+/// P*N encoded segments directly, so it subsumes the dense split pass —
+/// callers run this *instead of* the split sleep when compression is on.
+/// No-op on dense dispatches.
+template <typename T, typename U, typename V>
+sim::Task<void> comp_encode_pass(Cluster& cl, int job, comm::AlgoId algo,
+                                 int exec_id, int rank,
+                                 const SplitAggSpec<T, U, V>& spec,
+                                 const U& local) {
+  if (algo != comm::AlgoId::kSparseRing || !spec.encode_op) co_return;
+  const std::uint64_t bytes = spec.base.bytes(local);
+  const obs::SpanId span = cl.trace().begin(
+      "comp", "comp.encode", obs::exec_pid(exec_id), rank,
+      {{"job", job}, {"bytes", static_cast<std::int64_t>(bytes)}});
+  co_await cl.simulator().sleep(cl.codec_cost(bytes));
+  cl.trace().end(span);
 }
 
 /// Picks the executor a task actually runs on: the preferred one, or — if
@@ -1357,15 +1451,18 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
         co_await ex.cores().acquire();
         sim::SemaphoreGuard slot(ex.cores());
         co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
-        // Splitting the aggregator into P*N segments is one pass over it.
-        co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
-        comm::SegOps<V> ops;
-        ops.split = [&spec, &local](int seg, int nseg) {
-          return spec.split_op(*local, seg, nseg);
-        };
-        ops.reduce_into = spec.reduce_op;
-        ops.bytes = spec.v_bytes;
-        ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
+        if (algo == comm::AlgoId::kSparseRing && spec.encode_op) {
+          // The codec's gather pass emits the encoded segments directly,
+          // replacing the dense split pass.
+          co_await detail::comp_encode_pass(cl, job, algo, exec_id, rank,
+                                            spec, *local);
+        } else {
+          // Splitting the aggregator into P*N segments is one pass over it.
+          co_await cl.simulator().sleep(
+              cl.merge_cost(spec.base.bytes(*local)));
+        }
+        comm::SegOps<V> ops =
+            detail::make_seg_ops(cl, job, algo, exec_id, rank, spec, local);
         auto segs = co_await comm::CollectiveRegistry<V>::instance()
                         .reduce_scatter(algo, sc, rank, ops);
         if (!cl.executor_alive(exec_id)) {
@@ -1428,7 +1525,9 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
           comm::CollectiveOp::kReduceScatter, cl.config().collective_algo,
           prev_algo,
           cl.collective_cost_inputs(detail::aggregator_bytes(spec, per_exec),
-                                    n));
+                                    n,
+                                    detail::aggregator_density(spec,
+                                                               per_exec)));
       prev_algo = algo;
       cl.metrics().add(std::string("agg.collective.") + comm::to_string(algo),
                        1);
@@ -1451,6 +1550,21 @@ sim::Task<V> split_aggregate(Cluster& cl, CachedRdd<T>& rdd,
 
       std::sort(all_segs.begin(), all_segs.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Sparse ring only: the driver densifies the compressed segments
+      // before concatenation — one codec scatter pass over the dense
+      // result (an array codec, not generic JVM folding), attributed to
+      // the "comp" category.
+      if (algo == comm::AlgoId::kSparseRing && spec.encode_op) {
+        const std::uint64_t dense_bytes =
+            detail::aggregator_bytes(spec, per_exec);
+        const Time t0 = cl.simulator().now();
+        const Time decoded =
+            cl.driver_loop().enqueue(cl.codec_cost(dense_bytes));
+        co_await cl.simulator().sleep_until(decoded);
+        tr.span_at("comp", "comp.decode", obs::kDriverPid, 0, t0, decoded,
+                   {{"job", job},
+                    {"bytes", static_cast<std::int64_t>(dense_bytes)}});
+      }
       const Time done =
           cl.driver_loop().enqueue(cl.driver_merge_cost(total_v_bytes));
       co_await cl.simulator().sleep_until(done);
@@ -1557,7 +1671,7 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
     // lands in `error` and the attempt retries at stage granularity; the
     // catch-all is what keeps the WaitGroup complete (no silent hang) when
     // a fault strikes mid-allreduce.
-    static sim::Task<void> go(Cluster& cl, comm::Communicator& sc,
+    static sim::Task<void> go(Cluster& cl, int job, comm::Communicator& sc,
                               comm::AlgoId algo, int exec_id, int rank,
                               const SplitAggSpec<T, U, V>& spec,
                               std::shared_ptr<U> local,
@@ -1573,19 +1687,33 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         co_await ex.cores().acquire();
         sim::SemaphoreGuard slot(ex.cores());
         co_await cl.simulator().sleep(cl.spec().rates.task_overhead);
-        co_await cl.simulator().sleep(cl.merge_cost(spec.base.bytes(*local)));
-        comm::SegOps<V> ops;
-        ops.split = [&spec, &local](int seg, int nseg) {
-          return spec.split_op(*local, seg, nseg);
-        };
-        ops.reduce_into = spec.reduce_op;
-        ops.bytes = spec.v_bytes;
+        if (algo == comm::AlgoId::kSparseRing && spec.encode_op) {
+          // The codec's gather pass emits the encoded segments directly,
+          // replacing the dense split pass.
+          co_await detail::comp_encode_pass(cl, job, algo, exec_id, rank,
+                                            spec, *local);
+        } else {
+          co_await cl.simulator().sleep(
+              cl.merge_cost(spec.base.bytes(*local)));
+        }
+        comm::SegOps<V> ops =
+            detail::make_seg_ops(cl, job, algo, exec_id, rank, spec, local);
         ops.concat = spec.concat_op;
-        ops.merge_time = [&cl](std::uint64_t b) { return cl.merge_cost(b); };
         V full = co_await comm::CollectiveRegistry<V>::instance().allreduce(
             algo, sc, rank, ops);
         if (!cl.executor_alive(exec_id)) {
           throw comm::CollectiveFailed("executor died after allreduce");
+        }
+        // Sparse ring only: every rank densifies its replica — one codec
+        // scatter pass over the dense aggregator, attributed to the "comp"
+        // category.
+        if (algo == comm::AlgoId::kSparseRing && spec.encode_op) {
+          const std::uint64_t dense_bytes = spec.base.bytes(*local);
+          const obs::SpanId dec = cl.trace().begin(
+              "comp", "comp.decode", obs::exec_pid(exec_id), rank,
+              {{"job", job}, {"bytes", static_cast<std::int64_t>(dense_bytes)}});
+          co_await cl.simulator().sleep(cl.codec_cost(dense_bytes));
+          cl.trace().end(dec);
         }
         // Assembling the replica is one pass over it.
         co_await cl.simulator().sleep(cl.merge_cost(spec.v_bytes(full)));
@@ -1629,7 +1757,9 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
           comm::CollectiveOp::kAllreduce, cl.config().collective_algo,
           prev_algo,
           cl.collective_cost_inputs(detail::aggregator_bytes(spec, per_exec),
-                                    n));
+                                    n,
+                                    detail::aggregator_density(spec,
+                                                               per_exec)));
       prev_algo = algo;
       cl.metrics().add(std::string("agg.collective.") + comm::to_string(algo),
                        1);
@@ -1641,8 +1771,8 @@ sim::Task<V> split_allreduce(Cluster& cl, CachedRdd<T>& rdd,
         const int e = ring.rank_exec[static_cast<std::size_t>(r)];
         auto localv = per_exec[static_cast<std::size_t>(e)];
         if (!localv) localv = std::make_shared<U>(spec.base.zero);
-        cl.simulator().spawn(AllreduceTask::go(cl, *ring.sc, algo, e, r, spec,
-                                               std::move(localv), result,
+        cl.simulator().spawn(AllreduceTask::go(cl, job, *ring.sc, algo, e, r,
+                                               spec, std::move(localv), result,
                                                result_key, wg, error));
       }
       co_await wg.wait();

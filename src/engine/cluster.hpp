@@ -214,6 +214,12 @@ class Cluster {
     return sim::transfer_time(static_cast<double>(bytes),
                               spec_.rates.driver_merge_bw);
   }
+  /// One streaming codec pass (sparse encode gather / decode scatter) over
+  /// `bytes` of dense aggregator.
+  Duration codec_cost(std::uint64_t bytes) const {
+    return sim::transfer_time(static_cast<double>(bytes),
+                              spec_.rates.codec_bw);
+  }
 
   /// Tuner inputs for a collective over the scalable communicator: `n`
   /// ranks (the live membership of the current stage attempt), each moving
@@ -223,8 +229,11 @@ class Cluster {
   /// ring size, and when several scheduled jobs run concurrent rings the
   /// NIC bandwidth is divided by the ring count so each job tunes for its
   /// fair slice of the shared wire.
-  comm::CollectiveCostInputs collective_cost_inputs(std::uint64_t bytes,
-                                                    int n) const {
+  /// `density` is the estimated nonzero fraction of the aggregator (the
+  /// split spec's density_op when present, 1.0 otherwise); the sparse-ring
+  /// pricing is the only consumer.
+  comm::CollectiveCostInputs collective_cost_inputs(
+      std::uint64_t bytes, int n, double density = 1.0) const {
     if (cfg_.membership_lookahead) {
       n += membership_->pending_ring_delta();
       if (n < 1) n = 1;
@@ -232,6 +241,7 @@ class Cluster {
     comm::CollectiveCostInputs in = comm::cost_inputs(
         spec_, spec_.sc_link, bytes, n, cfg_.sai_parallelism);
     if (active_rings_ > 1) in.nic_bw /= active_rings_;
+    in.density = density;
     return in;
   }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "comp/sparse.hpp"
 #include "engine/aggregate.hpp"
 #include "ml/gradient.hpp"
 #include "ml/linalg.hpp"
@@ -41,23 +42,48 @@ struct GradientAggregator {
     return DenseVector(flat.begin(), flat.end() - 2);
   }
 
-  // Wire codec (ser::Serializable): the flat layout *is* the wire layout.
-  void serialize(ser::ByteBuffer& b) const { b.write_vector(flat); }
+  /// Nonzero fraction of the flat layout — the density estimate the
+  /// collective tuner prices the sparse ring with.
+  double density() const {
+    if (flat.empty()) return 1.0;
+    std::size_t nnz = 0;
+    for (double x : flat) nnz += x != 0.0;
+    return static_cast<double>(nnz) / static_cast<double>(flat.size());
+  }
+
+  // Wire codec (ser::Serializable): sparse-aware — the codec picks
+  // index+value encoding whenever it is smaller than the flat layout
+  // (mostly-zero gradients), and the flat layout otherwise, so dense
+  // aggregators cost exactly what they always did.
+  void serialize(ser::ByteBuffer& b) const {
+    comp::SparseCodec<double>::write(b, flat);
+  }
   static GradientAggregator deserialize(ser::ByteBuffer& b) {
     GradientAggregator agg;
-    agg.flat = b.read_vector<double>();
+    agg.flat = comp::SparseCodec<double>::read(b);
     return agg;
   }
   std::uint64_t serialized_bytes() const {
-    return static_cast<std::uint64_t>(flat.size()) * sizeof(double);
+    std::size_t nnz = 0;
+    for (double x : flat) nnz += x != 0.0;
+    const std::uint64_t dense =
+        comp::SparseCodec<double>::dense_bytes(flat.size());
+    const std::uint64_t sparse = comp::SparseCodec<double>::sparse_bytes(nnz);
+    return sparse < dense ? sparse : dense;
   }
 };
+
+/// Segment type of the gradient split spec: a slice of the flat aggregator
+/// in whichever representation is cheaper to move. Dense by construction at
+/// split time; the sparse ring's encode hook re-encodes density-optimally.
+using GradientSegment = comp::AdaptiveVector<double>;
 
 /// Everything needed to run one gradient-aggregation job under either
 /// aggregation path.
 struct GradientJob {
   engine::TreeAggSpec<LabeledPoint, GradientAggregator> tree;
-  engine::SplitAggSpec<LabeledPoint, GradientAggregator, DenseVector> split;
+  engine::SplitAggSpec<LabeledPoint, GradientAggregator, GradientSegment>
+      split;
 };
 
 /// Cost model for a gradient pass (time is charged at *paper* scale; the
@@ -111,18 +137,28 @@ inline GradientJob make_gradient_job(GradientKind kind,
   s.split_op = [](const GradientAggregator& u, int seg, int nseg) {
     auto [lo, hi] =
         slice_bounds(static_cast<std::int64_t>(u.flat.size()), seg, nseg);
-    return slice(u.flat, lo, hi);
+    return GradientSegment::dense(slice(u.flat, lo, hi));
   };
-  s.reduce_op = [](DenseVector& a, const DenseVector& b) { add_into(a, b); };
-  s.concat_op = [](std::vector<std::pair<int, DenseVector>>& segs) {
+  s.reduce_op = [](GradientSegment& a, const GradientSegment& b) { a.add(b); };
+  s.concat_op = [](std::vector<std::pair<int, GradientSegment>>& segs) {
     DenseVector out;
-    for (auto& [idx, v] : segs) out.insert(out.end(), v.begin(), v.end());
-    return out;
+    for (auto& [idx, v] : segs) {
+      DenseVector d = std::move(v).to_dense();
+      out.insert(out.end(), d.begin(), d.end());
+    }
+    return GradientSegment::dense(std::move(out));
   };
-  s.v_bytes = [bytes_scale](const DenseVector& v) {
+  // Representation-aware: dense segments cost exactly the old flat bytes,
+  // sparse ones their index+value encoding — both at the modeled scale.
+  s.v_bytes = [bytes_scale](const GradientSegment& v) {
     return static_cast<std::uint64_t>(
-        static_cast<double>(v.size() * sizeof(double)) * bytes_scale);
+        static_cast<double>(v.serialized_bytes()) * bytes_scale);
   };
+  s.density_op = [](const GradientAggregator& u) { return u.density(); };
+  s.encode_op = [](GradientSegment v) {
+    return GradientSegment::encode(std::move(v).to_dense());
+  };
+  s.is_sparse_op = [](const GradientSegment& v) { return v.is_sparse(); };
   return job;
 }
 
@@ -132,6 +168,11 @@ inline GradientAggregator aggregator_from_flat(DenseVector flat) {
   GradientAggregator agg;
   agg.flat = std::move(flat);
   return agg;
+}
+
+/// Same, from the segment type the split spec's concatOp returns.
+inline GradientAggregator aggregator_from_flat(GradientSegment seg) {
+  return aggregator_from_flat(std::move(seg).to_dense());
 }
 
 }  // namespace sparker::ml

@@ -155,11 +155,11 @@ inline sim::Task<TrainResult> train_linear(
     engine::AggMetrics metrics;
     GradientAggregator agg;
     if (allreduce_mode) {
-      DenseVector flat =
+      GradientSegment flat =
           co_await engine::split_allreduce(cl, rdd, job.split, &metrics);
       agg = aggregator_from_flat(std::move(flat));
     } else if (use_split) {
-      DenseVector flat =
+      GradientSegment flat =
           co_await engine::split_aggregate(cl, rdd, job.split, &metrics);
       agg = aggregator_from_flat(std::move(flat));
     } else {

@@ -98,6 +98,7 @@ ClusterSpec ClusterSpec::aws(int nodes) {
   s.rates.merge_bw = 3200e6;
   s.rates.driver_deser_bw = 700e6;
   s.rates.driver_merge_bw = 1700e6;
+  s.rates.codec_bw = 13000e6;
   // Figure 3 vs Figure 4 of the paper imply ~4.5x faster per-core kernels
   // on the AWS nodes (272 s for 15 iterations on 8 cores vs 1152 s for 40
   // iterations on 24 cores).

@@ -23,6 +23,11 @@ struct CostRates {
   /// executor-side array codecs.
   double driver_deser_bw = 600e6;
   double driver_merge_bw = 1500e6;
+  /// Sparse codec gather/scatter: one cache-linear streaming scan over the
+  /// dense aggregator, emitting (encode) or applying (decode) index+value
+  /// pairs. No folding of a second operand and no deserialization — this
+  /// runs at close to memory-scan speed, several times the merge rate.
+  double codec_bw = 12000e6;
   /// Relative per-core compute speed for the workload cost model (the
   /// paper's own numbers imply the AWS Platinum-8175M cores ran the MLlib
   /// kernels several times faster than BIC's E5-2680 v4).

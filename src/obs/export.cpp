@@ -459,6 +459,8 @@ DetailReport detail_report(const TraceSink& sink) {
       b.detect += d;
     } else if (std::strcmp(ev.cat, "recover") == 0) {
       b.recover += d;
+    } else if (std::strcmp(ev.cat, "comp") == 0) {
+      b.comp += d;
     }
   };
   for (const TraceEvent& ev : sink.events()) {
@@ -481,17 +483,17 @@ std::string format_detail_report(const DetailReport& report) {
       "trace breakdown (busy seconds by category; overlapping executors, so "
       "columns need not sum to wall-clock):\n";
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "  %8s %10s %10s %10s %12s %10s %10s\n",
+  std::snprintf(buf, sizeof(buf), "  %8s %10s %10s %10s %12s %10s %10s %10s\n",
                 "job", "compute", "reduce", "ser", "driver-fetch", "detect",
-                "recover");
+                "recover", "comp");
   out += buf;
   auto row = [&](const std::string& label, const StageBreakdown& b) {
     std::snprintf(buf, sizeof(buf),
-                  "  %8s %10.4f %10.4f %10.4f %12.4f %10.4f %10.4f\n",
+                  "  %8s %10.4f %10.4f %10.4f %12.4f %10.4f %10.4f %10.4f\n",
                   label.c_str(), sim::to_seconds(b.compute),
                   sim::to_seconds(b.reduce), sim::to_seconds(b.ser),
                   sim::to_seconds(b.driver_fetch), sim::to_seconds(b.detect),
-                  sim::to_seconds(b.recover));
+                  sim::to_seconds(b.recover), sim::to_seconds(b.comp));
     out += buf;
   };
   for (const auto& [job, b] : report.per_job) row(std::to_string(job), b);

@@ -97,6 +97,7 @@ struct StageBreakdown {
   sim::Duration driver_fetch = 0;  ///< result fetches into the driver
   sim::Duration detect = 0;        ///< failure-detection waits (cat "detect")
   sim::Duration recover = 0;       ///< refold + retry backoff (cat "recover")
+  sim::Duration comp = 0;          ///< sparse encode/decode scans (cat "comp")
 };
 struct DetailReport {
   StageBreakdown total;

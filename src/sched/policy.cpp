@@ -1,5 +1,6 @@
 #include "sched/policy.hpp"
 
+#include <cmath>
 #include <limits>
 
 namespace sparker::sched {
@@ -101,6 +102,11 @@ struct FairShare final : SchedulerPolicy {
 };
 
 }  // namespace
+
+double usage_decay_factor(double age_seconds, double half_life_seconds) {
+  if (half_life_seconds <= 0.0 || age_seconds <= 0.0) return 1.0;
+  return std::exp2(-age_seconds / half_life_seconds);
+}
 
 PolicyRegistry& PolicyRegistry::instance() {
   static PolicyRegistry reg = [] {

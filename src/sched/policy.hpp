@@ -55,6 +55,13 @@ struct TenantUsage {
   double weight = 1.0;
 };
 
+/// CFS-style usage aging: the multiplier applied to accumulated
+/// resource-seconds that are `age_seconds` old under an exponential decay
+/// with the given half-life. 1.0 when decay is disabled (half-life <= 0) or
+/// the usage is current. Decay bounds fair-share memory: month-old hogging
+/// is forgiven, while recent heavy usage still counts (nearly) in full.
+double usage_decay_factor(double age_seconds, double half_life_seconds);
+
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;

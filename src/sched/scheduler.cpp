@@ -34,6 +34,11 @@ double JobScheduler::tenant_weight(int tenant) const {
   return it == cfg_.tenant_weights.end() ? 1.0 : it->second;
 }
 
+double JobScheduler::usage_decay(sim::Time from, sim::Time now) const {
+  return usage_decay_factor(sim::to_seconds(now - from),
+                            sim::to_seconds(cfg_.usage_half_life));
+}
+
 double JobScheduler::committed_demand(double extra_cores,
                                       double extra_net) const {
   double cores = queued_cores_ + extra_cores;
@@ -108,6 +113,13 @@ int JobScheduler::submit(const JobSpec& spec, JobFn fn) {
 std::map<int, TenantUsage> JobScheduler::usage_view() const {
   std::map<int, TenantUsage> view = consumed_usage_;
   const sim::Time now = cl_->simulator().now();
+  for (auto& [tenant, u] : view) {
+    const auto it = usage_as_of_.find(tenant);
+    const double f = usage_decay(it == usage_as_of_.end() ? now : it->second,
+                                 now);
+    u.cores_frac *= f;
+    u.net_frac *= f;
+  }
   for (const auto& [id, job] : live_) {
     const double held = sim::to_seconds(now - job.started);
     TenantUsage& u = view[job.tenant];
@@ -196,9 +208,15 @@ void JobScheduler::finish(Job& job, bool failed) {
   u.net_frac -= job.net_frac;
   const double held_s = sim::to_seconds(rec.finished - rec.started);
   TenantUsage& cum = consumed_usage_[job.spec.tenant];
-  cum.cores_frac += job.cores_frac * held_s;
-  cum.net_frac += job.net_frac * held_s;
+  // Fold the new resource-seconds in at full value after aging what was
+  // already banked (the entry is exact as of its usage_as_of_ stamp).
+  const auto as_of =
+      usage_as_of_.try_emplace(job.spec.tenant, rec.finished).first;
+  const double f = usage_decay(as_of->second, rec.finished);
+  cum.cores_frac = cum.cores_frac * f + job.cores_frac * held_s;
+  cum.net_frac = cum.net_frac * f + job.net_frac * held_s;
   cum.weight = tenant_weight(job.spec.tenant);
+  as_of->second = rec.finished;
   live_.erase(job.id);
 
   const std::int64_t latency =

@@ -94,6 +94,12 @@ struct SchedConfig {
   double overload_threshold = 0.0;
   /// Fair-share weights by tenant id; absent tenants weigh 1.
   std::map<int, double> tenant_weights;
+  /// Half-life of the exponential decay applied to each tenant's
+  /// accumulated resource-seconds (CFS-style usage aging). 0 disables
+  /// decay: usage is remembered forever, the pre-decay behavior. With a
+  /// half-life, ancient hogging stops counting against a tenant while
+  /// recent heavy usage still (nearly fully) does.
+  sim::Duration usage_half_life = 0;
 };
 
 class JobScheduler {
@@ -139,6 +145,9 @@ class JobScheduler {
   };
 
   double tenant_weight(int tenant) const;
+  /// Decay multiplier for consumed usage last folded at `from`, read at
+  /// `now` (1.0 when `usage_half_life` is 0).
+  double usage_decay(sim::Time from, sim::Time now) const;
   /// Demand the cluster is committed to: running + queued + `extra`, as a
   /// dominant-resource fraction of capacity.
   double committed_demand(double extra_cores, double extra_net) const;
@@ -162,7 +171,11 @@ class JobScheduler {
   std::map<int, TenantUsage> running_usage_;
   /// Resource-seconds consumed by each tenant's finished jobs — the
   /// fair-share history (usage_view adds running-job accrual on top).
+  /// Decayed lazily: each entry is exact as of `usage_as_of_[tenant]`, and
+  /// readers apply `usage_decay` for the time since.
   std::map<int, TenantUsage> consumed_usage_;
+  /// When each tenant's consumed usage was last folded/decayed to.
+  std::map<int, sim::Time> usage_as_of_;
   /// Demands and start times of running jobs, keyed by job id, for accrual.
   struct LiveJob {
     int tenant = 0;

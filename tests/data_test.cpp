@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "data/generators.hpp"
@@ -179,6 +180,49 @@ TEST(Libsvm, RoundTrip) {
       EXPECT_NEAR(back[i].features.values[k], rows[i].features.values[k],
                   1e-6 * std::abs(rows[i].features.values[k]) + 1e-12);
     }
+  }
+}
+
+TEST(Generators, SparseUpdatesAreShapedAndDeterministic) {
+  const std::int64_t dim = 4096;
+  for (double density : {0.001, 0.01, 0.1, 0.5}) {
+    auto ups = generate_sparse_update_partition(dim, density, /*partition=*/2,
+                                                /*num_bands=*/8, /*count=*/3,
+                                                /*seed=*/42);
+    ASSERT_EQ(ups.size(), 3u);
+    const auto want_nnz = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(density * static_cast<double>(dim) + 0.5),
+        1, dim);
+    for (const auto& up : ups) {
+      ASSERT_EQ(up.indices.size(), static_cast<std::size_t>(want_nnz));
+      ASSERT_EQ(up.deltas.size(), up.indices.size());
+      for (std::size_t k = 0; k < up.indices.size(); ++k) {
+        EXPECT_GE(up.indices[k], 0);
+        EXPECT_LT(up.indices[k], dim);
+        if (k > 0) EXPECT_LT(up.indices[k - 1], up.indices[k]);  // sorted+unique
+      }
+    }
+    auto again = generate_sparse_update_partition(dim, density, 2, 8, 3, 42);
+    for (std::size_t u = 0; u < ups.size(); ++u) {
+      EXPECT_EQ(again[u].indices, ups[u].indices);
+      EXPECT_EQ(again[u].deltas, ups[u].deltas);
+    }
+  }
+}
+
+TEST(Generators, SparseUpdateBandsAreDisjointAtLowDensity) {
+  // At low density each partition's support stays inside its band, so
+  // summing across partitions fills support in gradually — the fill-in the
+  // sparse ring's crossover measurement depends on.
+  const std::int64_t dim = 8000;
+  const int bands = 8;
+  auto p0 = generate_sparse_update_partition(dim, 0.01, 0, bands, 1, 7);
+  auto p1 = generate_sparse_update_partition(dim, 0.01, 1, bands, 1, 7);
+  const std::int64_t band_w = dim / bands;
+  for (auto i : p0[0].indices) EXPECT_LT(i, band_w);
+  for (auto i : p1[0].indices) {
+    EXPECT_GE(i, band_w);
+    EXPECT_LT(i, 2 * band_w);
   }
 }
 

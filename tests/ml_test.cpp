@@ -189,11 +189,11 @@ TEST(GradientAggregator, SplitConcatRoundTrip) {
     u.flat[i] = static_cast<double>(i) + 1;
   }
   const int nseg = 5;
-  std::vector<std::pair<int, DenseVector>> segs;
+  std::vector<std::pair<int, GradientSegment>> segs;
   for (int s = 0; s < nseg; ++s) {
     segs.emplace_back(s, job.split.split_op(u, s, nseg));
   }
-  DenseVector back = job.split.concat_op(segs);
+  DenseVector back = job.split.concat_op(segs).to_dense();
   EXPECT_EQ(back, u.flat);
 }
 

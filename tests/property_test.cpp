@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "comm/registry.hpp"
+#include "comp/sparse.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/cluster.hpp"
 #include "engine/config.hpp"
@@ -30,6 +31,7 @@ namespace {
 using sim::Simulator;
 using sim::Task;
 using Vec = std::vector<std::int64_t>;
+using AVec = comp::AdaptiveVector<std::int64_t>;
 
 // One randomly drawn configuration (a pure function of the seed).
 struct Config {
@@ -62,6 +64,11 @@ struct Config {
   bool degrade = false;
   int chan_src = 0;
   int chan_dst = 1;
+  // Aggregator density: seqOp touches every stride-th slot, so the
+  // aggregated value has ~dim/stride nonzeros. 1 = fully dense (the
+  // pre-sparse behavior); larger strides exercise the compressed ring and
+  // its adaptive dense<->sparse switching.
+  int stride = 1;
 };
 
 Config draw_config(std::uint64_t seed) {
@@ -90,9 +97,10 @@ Config draw_config(std::uint64_t seed) {
   c.heartbeats = rng.bernoulli(0.25);
   c.quarantine = rng.bernoulli(0.25);
   static constexpr comm::AlgoId kAlgos[] = {
-      comm::AlgoId::kAuto, comm::AlgoId::kRing, comm::AlgoId::kHalving,
-      comm::AlgoId::kPairwise, comm::AlgoId::kDriverFunnel};
-  c.algo = kAlgos[rng.next_below(5)];
+      comm::AlgoId::kAuto,     comm::AlgoId::kRing,
+      comm::AlgoId::kHalving,  comm::AlgoId::kPairwise,
+      comm::AlgoId::kDriverFunnel, comm::AlgoId::kSparseRing};
+  c.algo = kAlgos[rng.next_below(6)];
   c.kill = rng.bernoulli(0.3);
   c.kill_exec =
       1 + static_cast<int>(rng.next_below(
@@ -106,6 +114,7 @@ Config draw_config(std::uint64_t seed) {
                 static_cast<int>(rng.next_below(
                     static_cast<std::uint64_t>(c.num_nodes - 1)))) %
                c.num_nodes;
+  c.stride = 1 << rng.next_below(6);  // density 1, 1/2, ..., 1/32
   return c;
 }
 
@@ -124,11 +133,11 @@ std::function<Vec(int)> seeded_rows(const Config& c) {
   };
 }
 
-TreeAggSpec<std::int64_t, Vec> sum_spec(int dim) {
+TreeAggSpec<std::int64_t, Vec> sum_spec(int dim, int stride = 1) {
   TreeAggSpec<std::int64_t, Vec> spec;
   spec.zero = Vec(static_cast<std::size_t>(dim), 0);
-  spec.seq_op = [dim](Vec& u, const std::int64_t& row) {
-    for (int i = 0; i < dim; ++i) {
+  spec.seq_op = [dim, stride](Vec& u, const std::int64_t& row) {
+    for (int i = 0; i < dim; i += stride) {
       u[static_cast<std::size_t>(i)] += row * (i + 1);
     }
   };
@@ -142,9 +151,9 @@ TreeAggSpec<std::int64_t, Vec> sum_spec(int dim) {
   return spec;
 }
 
-SplitAggSpec<std::int64_t, Vec, Vec> split_sum_spec(int dim) {
+SplitAggSpec<std::int64_t, Vec, Vec> split_sum_spec(int dim, int stride = 1) {
   SplitAggSpec<std::int64_t, Vec, Vec> spec;
-  spec.base = sum_spec(dim);
+  spec.base = sum_spec(dim, stride);
   spec.split_op = [](const Vec& u, int seg, int nseg) {
     const int len = static_cast<int>(u.size());
     const int base = len / nseg, rem = len % nseg;
@@ -164,10 +173,45 @@ SplitAggSpec<std::int64_t, Vec, Vec> split_sum_spec(int dim) {
   return spec;
 }
 
+// The same job with AdaptiveVector segments and the sparse hooks wired —
+// what the compressed ring path runs. Values must still be bit-identical
+// to the plain dense spec's sequential fold.
+SplitAggSpec<std::int64_t, Vec, AVec> sparse_split_spec(int dim, int stride) {
+  SplitAggSpec<std::int64_t, Vec, AVec> spec;
+  spec.base = sum_spec(dim, stride);
+  spec.split_op = [](const Vec& u, int seg, int nseg) {
+    const int len = static_cast<int>(u.size());
+    const int base = len / nseg, rem = len % nseg;
+    const int lo = seg * base + std::min(seg, rem);
+    const int hi = lo + base + (seg < rem ? 1 : 0);
+    return AVec::dense(Vec(u.begin() + lo, u.begin() + hi));
+  };
+  spec.reduce_op = [](AVec& a, const AVec& b) { a.add(b); };
+  spec.concat_op = [](std::vector<std::pair<int, AVec>>& segs) {
+    Vec out;
+    for (auto& [idx, v] : segs) {
+      Vec d = std::move(v).to_dense();
+      out.insert(out.end(), d.begin(), d.end());
+    }
+    return AVec::dense(std::move(out));
+  };
+  spec.v_bytes = [](const AVec& v) { return v.serialized_bytes(); };
+  spec.density_op = [](const Vec& u) {
+    std::size_t nnz = 0;
+    for (auto x : u) nnz += x != 0;
+    return u.empty() ? 1.0
+                     : static_cast<double>(nnz) /
+                           static_cast<double>(u.size());
+  };
+  spec.encode_op = [](AVec v) { return AVec::encode(std::move(v).to_dense()); };
+  spec.is_sparse_op = [](const AVec& v) { return v.is_sparse(); };
+  return spec;
+}
+
 // The executable sequential specification: partition-wise seqOp folds
 // combined left to right.
 Vec sequential_reference(const Config& c) {
-  auto spec = sum_spec(c.dim);
+  auto spec = sum_spec(c.dim, c.stride);
   auto gen = seeded_rows(c);
   Vec acc = spec.zero;
   for (int p = 0; p < c.num_partitions; ++p) {
@@ -210,7 +254,7 @@ Vec run_tree(const Config& c, AggMode mode) {
   Cluster cl(sim, spec_for(c), engine_config(c, mode));
   CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
                               seeded_rows(c));
-  auto spec = sum_spec(c.dim);
+  auto spec = sum_spec(c.dim, c.stride);
   auto job = [&]() -> Task<Vec> {
     co_return co_await tree_aggregate(cl, rdd, spec);
   };
@@ -225,9 +269,43 @@ Vec run_split(const Config& c, const FaultSchedule& schedule = {},
   Cluster cl(sim, spec_for(c), cfg);
   CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
                               seeded_rows(c));
-  auto spec = split_sum_spec(c.dim);
+  auto spec = split_sum_spec(c.dim, c.stride);
   auto job = [&]() -> Task<Vec> {
     co_return co_await split_aggregate(cl, rdd, spec, m);
+  };
+  return sim.run_task(job());
+}
+
+// The compressed ring: forced kSparseRing with the sparse-hooks spec.
+Vec run_split_sparse(const Config& c, const FaultSchedule& schedule = {},
+                     AggMetrics* m = nullptr) {
+  Simulator sim;
+  EngineConfig cfg = engine_config(c, AggMode::kSplit);
+  cfg.collective_algo = comm::AlgoId::kSparseRing;
+  cfg.fault_schedule = schedule;
+  Cluster cl(sim, spec_for(c), cfg);
+  CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
+                              seeded_rows(c));
+  auto spec = sparse_split_spec(c.dim, c.stride);
+  auto job = [&]() -> Task<Vec> {
+    AVec v = co_await split_aggregate(cl, rdd, spec, m);
+    co_return std::move(v).to_dense();
+  };
+  return sim.run_task(job());
+}
+
+Vec run_allreduce_sparse(const Config& c, const FaultSchedule& schedule = {}) {
+  Simulator sim;
+  EngineConfig cfg = engine_config(c, AggMode::kSplit);
+  cfg.collective_algo = comm::AlgoId::kSparseRing;
+  cfg.fault_schedule = schedule;
+  Cluster cl(sim, spec_for(c), cfg);
+  CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
+                              seeded_rows(c));
+  auto spec = sparse_split_spec(c.dim, c.stride);
+  auto job = [&]() -> Task<Vec> {
+    AVec v = co_await split_allreduce(cl, rdd, spec);
+    co_return std::move(v).to_dense();
   };
   return sim.run_task(job());
 }
@@ -239,7 +317,7 @@ Vec run_allreduce(const Config& c, const FaultSchedule& schedule = {}) {
   Cluster cl(sim, spec_for(c), cfg);
   CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
                               seeded_rows(c));
-  auto spec = split_sum_spec(c.dim);
+  auto spec = split_sum_spec(c.dim, c.stride);
   auto job = [&]() -> Task<Vec> {
     co_return co_await split_allreduce(cl, rdd, spec);
   };
@@ -277,17 +355,26 @@ void check_config(std::uint64_t seed) {
                << " stragglers=" << c.stragglers.slowdown.size()
                << " spec=" << c.speculation << " hb=" << c.heartbeats
                << " quar=" << c.quarantine << " kill=" << c.kill
-               << " delay=" << c.delay << " degrade=" << c.degrade);
+               << " delay=" << c.delay << " degrade=" << c.degrade
+               << " stride=" << c.stride);
   const Vec want = sequential_reference(c);
   EXPECT_EQ(run_tree(c, AggMode::kTree), want) << "tree";
   EXPECT_EQ(run_tree(c, AggMode::kTreeImm), want) << "tree+IMM";
   AggMetrics clean;
   EXPECT_EQ(run_split(c, {}, &clean), want) << "split";
   EXPECT_EQ(run_allreduce(c), want) << "allreduce";
+  AggMetrics clean_sparse;
+  EXPECT_EQ(run_split_sparse(c, {}, &clean_sparse), want) << "sparse ring";
+  EXPECT_EQ(run_allreduce_sparse(c), want) << "sparse allreduce";
   if (c.kill || c.delay || c.degrade) {
     const FaultSchedule schedule = drawn_faults(c, clean);
     EXPECT_EQ(run_split(c, schedule), want) << "split+faults";
     EXPECT_EQ(run_allreduce(c, schedule), want) << "allreduce+faults";
+    const FaultSchedule sparse_schedule = drawn_faults(c, clean_sparse);
+    EXPECT_EQ(run_split_sparse(c, sparse_schedule), want)
+        << "sparse ring+faults";
+    EXPECT_EQ(run_allreduce_sparse(c, sparse_schedule), want)
+        << "sparse allreduce+faults";
   }
 }
 
@@ -337,7 +424,7 @@ TEST(AggregationEquivalence, EveryAlgorithmCleanAndFaulted) {
   for (comm::AlgoId algo :
        {comm::AlgoId::kAuto, comm::AlgoId::kRing, comm::AlgoId::kHalving,
         comm::AlgoId::kPairwise, comm::AlgoId::kRabenseifner,
-        comm::AlgoId::kDriverFunnel}) {
+        comm::AlgoId::kDriverFunnel, comm::AlgoId::kSparseRing}) {
     SCOPED_TRACE(::testing::Message() << "algo=" << comm::to_string(algo));
     Config c = base;
     c.algo = algo;
@@ -350,6 +437,48 @@ TEST(AggregationEquivalence, EveryAlgorithmCleanAndFaulted) {
     const FaultSchedule schedule = drawn_faults(c, clean);
     EXPECT_EQ(run_split(c, schedule), want) << "faulted split";
     EXPECT_EQ(run_allreduce(c, schedule), want) << "faulted allreduce";
+  }
+}
+
+// The compressed ring under membership churn: a decommission mid-compute
+// and a rejoin mid-campaign must not change any job's value, with segments
+// moving (and stream-summing) in sparse form throughout.
+TEST(AggregationEquivalence, SparseRingSurvivesChurn) {
+  Config c;
+  c.seed = 21;
+  c.num_nodes = 8;
+  c.parallelism = 3;
+  c.num_partitions = 10;
+  c.dim = 40;
+  c.stride = 8;  // ~12% density: sparse wins every hop.
+  c.rows_per_part = {4, 0, 2, 9, 1, 0, 5, 3, 7, 2};
+  const Vec want = sequential_reference(c);
+
+  // Clean run sizes the windows the churn events land in.
+  AggMetrics clean;
+  ASSERT_EQ(run_split_sparse(c, {}, &clean), want);
+  const sim::Duration t_job = clean.end - clean.start;
+  const sim::Duration t_compute = clean.compute_done - clean.start;
+
+  Simulator sim;
+  EngineConfig cfg = engine_config(c, AggMode::kSplit);
+  cfg.collective_algo = comm::AlgoId::kSparseRing;
+  cfg.membership.decommission(t_compute / 2, 5).join(2 * t_job, 5);
+  Cluster cl(sim, spec_for(c), cfg);
+  CachedRdd<std::int64_t> rdd(c.num_partitions, cl.num_executors(),
+                              seeded_rows(c));
+  auto spec = sparse_split_spec(c.dim, c.stride);
+  std::vector<Vec> got;
+  auto campaign = [&]() -> Task<void> {
+    for (int j = 0; j < 4; ++j) {
+      AVec v = co_await split_aggregate(cl, rdd, spec);
+      got.push_back(std::move(v).to_dense());
+    }
+  };
+  sim.run_task(campaign());
+  ASSERT_EQ(got.size(), 4u);
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j], want) << "churn job " << j;
   }
 }
 

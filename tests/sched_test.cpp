@@ -506,6 +506,96 @@ TEST(SchedMetrics, ConcurrentJobsKeepDistinctSeries) {
 }
 
 // ---------------------------------------------------------------------------
+// Fair-share usage decay (CFS-style aging of the resource-second history).
+
+TEST(SchedDecay, DecayFactorHalvesPerHalfLife) {
+  EXPECT_DOUBLE_EQ(sched::usage_decay_factor(5.0, 0.0), 1.0);  // disabled
+  EXPECT_DOUBLE_EQ(sched::usage_decay_factor(0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(sched::usage_decay_factor(10.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(sched::usage_decay_factor(20.0, 10.0), 0.25);
+  EXPECT_NEAR(sched::usage_decay_factor(1000.0, 10.0), 0.0, 1e-12);
+}
+
+/// Scenario for the decay tests: tenant 0 hogs the cluster (4 jobs), then
+/// `gap` of idle time passes, then tenant 1 runs one light job, then — with
+/// a blocker occupying the single slot so the policy must order the queue —
+/// tenant 0 and tenant 1 each submit one probe job. Returns the dispatch
+/// times of the two probes.
+struct DecayProbe {
+  sim::Time t0_started = 0;
+  sim::Time t1_started = 0;
+};
+
+DecayProbe run_decay_probe(sim::Duration half_life, sim::Duration gap) {
+  Simulator sim;
+  e::Cluster cl(sim, mt_spec(), mt_cfg());
+  e::CachedRdd<std::int64_t> rdd(kParts, cl.num_executors(), variant_rows(0));
+  auto spec = mt_agg_spec();
+  sched::SchedConfig sc;
+  sc.policy = sched::PolicyId::kFairShare;
+  sc.max_concurrent = 1;
+  sc.usage_half_life = half_life;
+  sched::JobScheduler sched(cl, sc);
+
+  std::vector<Vec> sink(8);
+  int next = 0;
+  auto submit = [&](int tenant) {
+    sched::JobSpec js;
+    js.tenant = tenant;
+    js.aggregator_bytes = kAggBytes;
+    js.tasks = kParts;
+    Vec* slot = &sink[static_cast<std::size_t>(next++)];
+    return sched.submit(js, [&cl, &rdd, &spec, slot](sched::JobContext& ctx) {
+      return run_one(cl, rdd, spec, ctx.opt, slot);
+    });
+  };
+
+  DecayProbe out;
+  auto driver = [&]() -> Task<void> {
+    for (int i = 0; i < 4; ++i) submit(0);  // tenant 0 hogs...
+    co_await sched.drain();
+    co_await sim.sleep(gap);                // ...then the cluster idles...
+    submit(1);                              // ...then tenant 1 runs lightly.
+    co_await sched.drain();
+    const int blocker = submit(2);
+    const int probe0 = submit(0);
+    const int probe1 = submit(1);
+    (void)blocker;
+    co_await sched.drain();
+    out.t0_started = sched.records()[static_cast<std::size_t>(probe0)].started;
+    out.t1_started = sched.records()[static_cast<std::size_t>(probe1)].started;
+  };
+  sim.run_task(driver());
+  return out;
+}
+
+TEST(SchedDecay, AncientHoggingIsForgiven) {
+  // Without decay the history is forever: tenant 0's long-past hogging
+  // still outweighs tenant 1's recent light job, so tenant 1 goes first.
+  DecayProbe forever = run_decay_probe(0, sim::seconds(1000));
+  EXPECT_LT(forever.t1_started, forever.t0_started);
+  // With a 10 s half-life, usage from 1000 s ago has decayed to nothing
+  // while tenant 1's job just ran: tenant 0 is now the more entitled one.
+  DecayProbe decayed = run_decay_probe(sim::seconds(10), sim::seconds(1000));
+  EXPECT_LT(decayed.t0_started, decayed.t1_started);
+}
+
+TEST(SchedDecay, RecentHeavyUsageStillCounts) {
+  // Decay must not let a sparse heavy tenant queue-jump: with the gap well
+  // inside the half-life, tenant 0's heavy usage is nearly undecayed and
+  // the dispatch order matches the no-decay history exactly.
+  DecayProbe decayed = run_decay_probe(sim::seconds(1000), sim::seconds(1));
+  EXPECT_LT(decayed.t1_started, decayed.t0_started);
+}
+
+TEST(SchedDecay, DecayedScheduleIsDeterministic) {
+  DecayProbe a = run_decay_probe(sim::seconds(10), sim::seconds(100));
+  DecayProbe b = run_decay_probe(sim::seconds(10), sim::seconds(100));
+  EXPECT_EQ(a.t0_started, b.t0_started);
+  EXPECT_EQ(a.t1_started, b.t1_started);
+}
+
+// ---------------------------------------------------------------------------
 // Pending-membership lookahead for the collective tuner (flag-gated).
 
 Task<void> sleep_until_settled(Simulator& sim, sim::Duration d) {

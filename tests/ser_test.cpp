@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "comp/sparse.hpp"
 #include "ml/aggregator.hpp"
 #include "net/cluster.hpp"
 #include "ser/byte_buffer.hpp"
@@ -201,6 +202,128 @@ TEST(Codec, GradientAggregatorZeroDimRoundTrip) {
   agg.add_loss(1.0);
   const ml::GradientAggregator back = roundtrip(agg);
   EXPECT_EQ(back.dim(), 0);
+  EXPECT_EQ(back.flat, agg.flat);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse codec (comp/sparse.hpp): representation choice, byte accounting
+// and malformed-payload rejection, at the edges.
+
+using DCodec = comp::SparseCodec<double>;
+using DVec = comp::AdaptiveVector<double>;
+
+std::vector<double> codec_roundtrip(const std::vector<double>& v) {
+  ByteBuffer b;
+  DCodec::write(b, v);
+  return DCodec::read(b);
+}
+
+TEST(SparseCodec, EmptyVectorRoundTrip) {
+  const std::vector<double> v;
+  EXPECT_EQ(codec_roundtrip(v), v);
+  const DVec av = DVec::encode(v);
+  EXPECT_FALSE(av.is_sparse());  // 0 bytes either way: not strictly smaller.
+  EXPECT_EQ(av.serialized_bytes(), 0u);
+  EXPECT_EQ(roundtrip(av).to_dense(), v);
+}
+
+TEST(SparseCodec, AllZeroVectorGoesSparse) {
+  const std::vector<double> v(100, 0.0);
+  EXPECT_EQ(codec_roundtrip(v), v);
+  const DVec av = DVec::encode(v);
+  EXPECT_TRUE(av.is_sparse());
+  EXPECT_EQ(av.nnz(), 0u);
+  EXPECT_EQ(av.serialized_bytes(), 0u);  // nothing to move.
+  EXPECT_EQ(roundtrip(av).to_dense(), v);
+}
+
+TEST(SparseCodec, FullyDenseStaysDense) {
+  std::vector<double> v(64);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 0.5 + double(i);
+  EXPECT_EQ(codec_roundtrip(v), v);
+  const DVec av = DVec::encode(v);
+  EXPECT_FALSE(av.is_sparse());
+  // Dense representation reports exactly a plain vector's modeled bytes.
+  EXPECT_EQ(av.serialized_bytes(), v.size() * sizeof(double));
+  EXPECT_EQ(roundtrip(av).to_dense(), v);
+}
+
+TEST(SparseCodec, SingleNonzeroAtLastIndex) {
+  std::vector<double> v(1000, 0.0);
+  v.back() = -3.25;
+  EXPECT_EQ(codec_roundtrip(v), v);
+  const DVec av = DVec::encode(v);
+  EXPECT_TRUE(av.is_sparse());
+  EXPECT_EQ(av.nnz(), 1u);
+  EXPECT_EQ(av.serialized_bytes(), DCodec::sparse_bytes(1));
+  EXPECT_DOUBLE_EQ(av.at(999), -3.25);
+  EXPECT_EQ(roundtrip(av).to_dense(), v);
+}
+
+TEST(SparseCodec, MalformedSparsePayloadsRejected) {
+  // Construction-side validation.
+  EXPECT_THROW(DVec::sparse(4, {1, 1}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(DVec::sparse(4, {2, 1}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(DVec::sparse(4, {1, 4}, {2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(DVec::sparse(4, {1}, {2.0, 3.0}), std::invalid_argument);
+  // Wire-side validation: a hand-built duplicate-index payload must not
+  // decode (a real stream could otherwise smuggle one past the policy).
+  ByteBuffer b;
+  DCodec::write_sparse(b, 4, {1, 1}, {2.0, 3.0});
+  EXPECT_THROW(DCodec::read(b), std::runtime_error);
+  ByteBuffer b2;
+  b2.write<std::uint8_t>(7);  // unknown representation tag.
+  EXPECT_THROW(DCodec::read(b2), std::runtime_error);
+}
+
+TEST(SparseCodec, RoundTripAtSwitchBoundary) {
+  // For 8-byte values the crossover density is 8/12 = 2/3: with len = 12,
+  // 8 nonzeros encode to exactly the dense size (ties go dense) and 7
+  // strictly win as sparse.
+  ASSERT_DOUBLE_EQ(DCodec::kCrossoverDensity, 2.0 / 3.0);
+  std::vector<double> at(12, 0.0), below(12, 0.0);
+  for (int i = 0; i < 8; ++i) at[static_cast<std::size_t>(i)] = i + 1.0;
+  for (int i = 0; i < 7; ++i) below[static_cast<std::size_t>(i)] = i + 1.0;
+  ASSERT_EQ(DCodec::sparse_bytes(8), DCodec::dense_bytes(12));
+  const DVec av_at = DVec::encode(at);
+  const DVec av_below = DVec::encode(below);
+  EXPECT_FALSE(av_at.is_sparse());
+  EXPECT_TRUE(av_below.is_sparse());
+  EXPECT_EQ(codec_roundtrip(at), at);
+  EXPECT_EQ(codec_roundtrip(below), below);
+  EXPECT_EQ(roundtrip(av_at).to_dense(), at);
+  EXPECT_EQ(roundtrip(av_below).to_dense(), below);
+}
+
+TEST(SparseCodec, StreamSummedMergeDensifiesAtCrossover) {
+  // Two disjoint 5-nonzero halves of a 12-wide vector: each is sparse, the
+  // union has 10 entries >= the 8-entry crossover, so add() must densify —
+  // the adaptive switch the ring's stream-summed merge relies on.
+  std::vector<double> lo(12, 0.0), hi(12, 0.0);
+  for (int i = 0; i < 5; ++i) lo[static_cast<std::size_t>(i)] = 1.0;
+  for (int i = 5; i < 10; ++i) hi[static_cast<std::size_t>(i)] = 2.0;
+  DVec a = DVec::encode(lo);
+  const DVec b = DVec::encode(hi);
+  ASSERT_TRUE(a.is_sparse());
+  ASSERT_TRUE(b.is_sparse());
+  a.add(b);
+  EXPECT_FALSE(a.is_sparse());
+  std::vector<double> want(12, 0.0);
+  for (int i = 0; i < 5; ++i) want[static_cast<std::size_t>(i)] = 1.0;
+  for (int i = 5; i < 10; ++i) want[static_cast<std::size_t>(i)] = 2.0;
+  EXPECT_EQ(a.to_dense(), want);
+}
+
+TEST(SparseCodec, SparseAggregatorWireFormatShrinks) {
+  // A mostly-zero gradient aggregator reports (and round-trips through)
+  // the compressed wire size.
+  ml::GradientAggregator agg(/*dim=*/1000);
+  agg.grad()[3] = 1.5;
+  agg.add_loss(2.0);
+  agg.add_count(8.0);
+  EXPECT_EQ(agg.serialized_bytes(), DCodec::sparse_bytes(3));
+  EXPECT_LT(agg.serialized_bytes(), agg.flat.size() * sizeof(double));
+  const ml::GradientAggregator back = roundtrip(agg);
   EXPECT_EQ(back.flat, agg.flat);
 }
 
